@@ -1,0 +1,173 @@
+// Command silo-bench regenerates every table and figure of the paper's
+// evaluation section (§VI) as text tables.
+//
+// Usage:
+//
+//	silo-bench -exp all                 # everything (slow)
+//	silo-bench -exp fig11 -txns 1250    # one experiment
+//
+// Experiments: config (Table II), table1, table4, fig4, fig11, fig12,
+// fig13, fig14, fig15. For fig11/fig12, -txns is the per-core transaction
+// count (weak scaling, so 1250 × 8 cores reproduces the paper's 10 k).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"silo/internal/harness"
+	"silo/internal/stats"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: config, table1, table4, fig4, fig11, fig12, fig13, fig14, fig15, ordering, latency, eadr, hotspot, recovery, all")
+		txns   = flag.Int("txns", 1250, "transactions per core (grid experiments) / total (others)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		cores  = flag.String("cores", "1,2,4,8", "core counts for fig11/fig12")
+		fcors  = flag.Int("fig-cores", 8, "core count for fig14/fig15")
+		format = flag.String("format", "table", "output format: table, chart, csv, json")
+	)
+	flag.Parse()
+
+	coresList, err := parseCores(*cores)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	printed := false
+	show := func(t *stats.Table) {
+		printed = true
+		switch *format {
+		case "chart":
+			fmt.Println(t.BarChart(48))
+		case "csv":
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		case "json":
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		default:
+			fmt.Println(t)
+		}
+	}
+
+	if want("config") {
+		show(harness.ConfigTable())
+	}
+	if want("table1") {
+		show(harness.Table1(0, 8))
+	}
+	if want("table4") {
+		show(harness.Table4(8, 0))
+	}
+	if want("fig4") {
+		t, err := harness.Fig4(*txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("fig11") || want("fig12") {
+		fmt.Fprintf(os.Stderr, "running %d-run grid (designs × workloads × cores)...\n",
+			len(harness.DesignNames())*len(harness.WorkloadNames())*len(coresList))
+		grid, err := harness.Grid(coresList, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig11") {
+			for _, t := range harness.Fig11(grid, coresList) {
+				show(t)
+			}
+		}
+		if want("fig12") {
+			for _, t := range harness.Fig12(grid, coresList) {
+				show(t)
+			}
+		}
+	}
+	if want("fig13") {
+		t, err := harness.Fig13(*txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("fig14") {
+		thr, wr, err := harness.Fig14(*fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(thr)
+		show(wr)
+	}
+	if want("fig15") {
+		t, err := harness.Fig15(*fcors, *txns, *seed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("ordering") {
+		t, err := harness.Ordering("Btree", *fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("latency") {
+		t, err := harness.Latency("Btree", *fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("eadr") {
+		t, err := harness.EADRStudy("YCSB", *fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("hotspot") {
+		t, err := harness.Hotspot("Btree", *fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if want("recovery") {
+		t, err := harness.RecoverySweep("Silo", "Hash", 2, *txns, *seed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		show(t)
+	}
+	if !printed {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-bench:", err)
+	os.Exit(1)
+}

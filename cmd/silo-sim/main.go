@@ -1,0 +1,79 @@
+// Command silo-sim runs one simulation — a (design, workload, cores)
+// combination — and prints the full run record: simulated time, committed
+// transactions, PM traffic at WPQ and media level, logging behaviour and
+// cache statistics.
+//
+// Usage:
+//
+//	silo-sim -design Silo -workload TPCC -cores 8 -txns 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silo"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "Silo", "design: "+strings.Join(silo.ExtendedDesigns(), ", "))
+		wl       = flag.String("workload", "Btree", "workload: "+strings.Join(silo.Workloads(), ", ")+", TPCC-Mix, Rtree, Ctrie, TATP, Bank, Sweep<N>")
+		cores    = flag.Int("cores", 1, "simulated cores (1 thread per core)")
+		txns     = flag.Int("txns", 10000, "total transactions, split across cores")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		ops      = flag.Int("ops", 1, "workload operations per transaction")
+		logBuf   = flag.Int("logbuf", 0, "Silo log buffer entries per core (0 = 20)")
+		logLat   = flag.Int("loglat", 0, "log buffer access latency in cycles (0 = 8)")
+		noMerge  = flag.Bool("no-merge", false, "disable Silo log merging (ablation)")
+		noIgnore = flag.Bool("no-ignore", false, "disable Silo log ignorance (ablation)")
+	)
+	flag.Parse()
+
+	res, err := silo.Run(silo.Config{
+		Design:           *design,
+		Workload:         *wl,
+		Cores:            *cores,
+		Transactions:     *txns,
+		Seed:             *seed,
+		OpsPerTx:         *ops,
+		LogBufferEntries: *logBuf,
+		LogBufferLatency: *logLat,
+		Silo:             silo.SiloOptions{DisableMerge: *noMerge, DisableIgnore: *noIgnore},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design=%s workload=%s cores=%d seed=%d\n", *design, *wl, *cores, *seed)
+	fmt.Printf("  transactions         %12d\n", res.Transactions)
+	fmt.Printf("  simulated cycles     %12d  (%.3f ms at 2 GHz)\n", res.Cycles, float64(res.Cycles)/2e6)
+	fmt.Printf("  throughput           %12.1f  tx / M-cycles\n", res.Throughput())
+	fmt.Printf("  loads / stores       %12d / %d\n", res.Loads, res.Stores)
+	fmt.Printf("  write size per tx    %12.1f  B\n", res.WriteBytesPerTx())
+	fmt.Println("PM traffic:")
+	fmt.Printf("  WPQ writes / bytes   %12d / %d\n", res.WPQWrites, res.WPQBytes)
+	fmt.Printf("  media writes / bytes %12d / %d\n", res.MediaWrites, res.MediaBytes)
+	fmt.Printf("  PM reads             %12d\n", res.PMReads)
+	fmt.Println("logging:")
+	fmt.Printf("  entries created      %12d\n", res.LogEntriesCreated)
+	fmt.Printf("  ignored / merged     %12d / %d\n", res.LogEntriesIgnored, res.LogEntriesMerged)
+	fmt.Printf("  flushed to log region%12d\n", res.LogEntriesFlushed)
+	fmt.Printf("  overflow events      %12d\n", res.LogOverflows)
+	fmt.Printf("  flush-bits set       %12d\n", res.FlushBitSets)
+	fmt.Println("caches:")
+	fmt.Printf("  L1 hit rate          %12.2f%%\n", rate(res.L1Hits, res.L1Misses))
+	fmt.Printf("  L2 hit rate          %12.2f%%\n", rate(res.L2Hits, res.L2Misses))
+	fmt.Printf("  L3 hit rate          %12.2f%%\n", rate(res.L3Hits, res.L3Misses))
+	fmt.Printf("  LLC writebacks       %12d\n", res.Writebacks)
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}

@@ -1,0 +1,87 @@
+// Command silo-trace records a simulation's memory-operation trace to a
+// file, or replays a recorded trace under any logging design — pinning
+// the instruction streams while only the design varies.
+//
+// Usage:
+//
+//	silo-trace -record btree.trace -workload Btree -cores 2 -txns 2000
+//	silo-trace -replay btree.trace -design LAD -workload Btree -cores 2
+//
+// Replay rebuilds the workload's initial PM state with the same seed the
+// trace was recorded with, so loads and old-data captures see the bytes
+// the recording saw.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silo/internal/harness"
+	"silo/internal/trace"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "record a trace to this file")
+		replay = flag.String("replay", "", "replay the trace in this file")
+		design = flag.String("design", "Silo", "design under test")
+		wl     = flag.String("workload", "Btree", "workload (Setup source; must match the recording for replays)")
+		cores  = flag.Int("cores", 1, "simulated cores")
+		txns   = flag.Int("txns", 2000, "total transactions (recording only)")
+		seed   = flag.Int64("seed", 42, "seed (must match the recording for replays)")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "" && *replay != "":
+		fatal(fmt.Errorf("choose one of -record and -replay"))
+	case *record != "":
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		w := trace.NewWriter(f)
+		r, err := harness.Run(harness.Spec{
+			Design: *design, Workload: *wl, Cores: *cores, Txns: *txns,
+			Seed: *seed, Trace: w,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d ops (%d transactions) to %s\n", w.Ops(), r.Transactions, *record)
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		r, err := harness.ReplayRun(harness.Spec{
+			Design: *design, Workload: *wl, Cores: *cores, Seed: *seed,
+		}, tr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed %d ops (%d cores) under %s:\n", tr.Ops(), tr.Cores(), *design)
+		fmt.Printf("  cycles=%d throughput=%.1f tx/Mcy mediaWrites=%d wpqWrites=%d\n",
+			r.Cycles, r.Throughput(), r.MediaWrites, r.WPQWrites)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-trace:", err)
+	os.Exit(1)
+}

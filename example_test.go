@@ -1,0 +1,61 @@
+package silo_test
+
+import (
+	"fmt"
+
+	"silo"
+)
+
+// The simplest use: run one workload under Silo and read the headline
+// counters. Runs are deterministic for a fixed seed.
+func ExampleRun() {
+	res, err := silo.Run(silo.Config{
+		Design:       "Silo",
+		Workload:     "Queue",
+		Cores:        1,
+		Transactions: 100,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("transactions:", res.Transactions)
+	fmt.Println("log region writes needed in the failure-free run:", res.LogEntriesFlushed)
+	// Output:
+	// transactions: 100
+	// log region writes needed in the failure-free run: 0
+}
+
+// Injecting a power failure mid-run: Silo's battery flushes the selective
+// logs (§III-G), recovery replays/revokes, and the report verifies atomic
+// durability word by word.
+func ExampleRunWithCrash() {
+	rep, err := silo.RunWithCrash(silo.Config{
+		Design:       "Silo",
+		Workload:     "Bank",
+		Cores:        1,
+		Transactions: 200,
+		Seed:         1,
+	}, 500 /* the power fails at operation 500 */)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("atomic durability held:", rep.Ok())
+	fmt.Println("verified words > 0:", rep.WordsChecked > 0)
+	// Output:
+	// atomic durability held: true
+	// verified words > 0: true
+}
+
+// Comparing designs on the same workload and seed.
+func ExampleDesigns() {
+	for _, d := range silo.Designs() {
+		fmt.Println(d)
+	}
+	// Output:
+	// Base
+	// FWB
+	// MorLog
+	// LAD
+	// Silo
+}

@@ -1,0 +1,44 @@
+// Crash recovery walk-through: inject power failures at increasing points
+// of a two-thread run (the Fig. 10 scenario shape: in-flight transactions,
+// committed-but-unflushed transactions, and log overflow all occur) and
+// show Silo's selective log flushing plus recovery restoring atomic
+// durability every time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silo"
+)
+
+func main() {
+	cfg := silo.Config{
+		Design:       "Silo",
+		Workload:     "Hash",
+		Cores:        2,
+		Transactions: 4000,
+		Seed:         7,
+		// Three hash inserts per transaction: large enough write sets to
+		// exercise the log-overflow path (§III-F) alongside the crash.
+		OpsPerTx: 3,
+	}
+
+	for _, crashAt := range []int64{1000, 5000, 20000, 60000} {
+		rep, err := silo.RunWithCrash(cfg, crashAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("power failure at op %-6d committed=%-4d ", crashAt, rep.CommittedBeforeCrash)
+		fmt.Printf("recovery: %d ID tuples, %d redo replayed, %d undo revoked, %d words verified -> ",
+			rep.RecoveredTx, rep.RedoApplied, rep.UndoApplied, rep.WordsChecked)
+		if rep.Ok() {
+			fmt.Println("atomic durability HELD")
+		} else {
+			fmt.Printf("VIOLATED (%d mismatches)\n", len(rep.Mismatches))
+		}
+	}
+	fmt.Println()
+	fmt.Println("Uncommitted transactions were revoked via crash-flushed undo logs;")
+	fmt.Println("committed-but-unflushed ones were replayed via redo logs + ID tuples (§III-G).")
+}

@@ -1,0 +1,46 @@
+// Endurance: compare PM media write traffic across all five designs on a
+// write-heavy key-value workload, and translate it into relative PM
+// lifetime — the paper's Fig. 11 motivation (write endurance) made
+// concrete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silo"
+)
+
+func main() {
+	const (
+		cores = 8
+		txns  = 8000
+	)
+	fmt.Printf("YCSB (20%% read / 80%% update), %d cores, %d transactions\n\n", cores, txns)
+	fmt.Printf("  %-7s %14s %14s %12s %14s\n",
+		"design", "media writes", "media bytes", "rel. life", "est. years*")
+
+	var baseWrites int64
+	for _, d := range silo.Designs() {
+		r, err := silo.Run(silo.Config{
+			Design: d, Workload: "YCSB", Cores: cores, Transactions: txns, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == "Base" {
+			baseWrites = r.MediaWrites
+		}
+		// Compare at a fixed service rate (1 M tx/s) so slower designs do
+		// not look longer-lived just by doing less work per second.
+		const txPerSec = 1e6
+		bytesPerTx := float64(r.MediaBytes) / float64(r.Transactions)
+		budget := 16e9 * 1e8 * 0.9 // capacity × cell endurance × leveling
+		years := budget / (bytesPerTx * txPerSec) / (365.25 * 24 * 3600)
+		fmt.Printf("  %-7s %14d %14d %11.2fx %14.1f\n",
+			d, r.MediaWrites, r.MediaBytes,
+			float64(baseWrites)/float64(r.MediaWrites), years)
+	}
+	fmt.Println("\n* 16 GB PCM DIMM, 1e8-cycle cells, 90% wear leveling, serving 1M tx/s 24/7.")
+	fmt.Println("PM cells wear out per write; fewer media writes = proportionally longer DIMM life.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one workload under Silo and under the conventional
+// hardware-logging baseline, and compare throughput and PM write traffic —
+// the paper's headline claims in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"silo"
+)
+
+func main() {
+	cfg := silo.Config{
+		Workload:     "Btree",
+		Cores:        4,
+		Transactions: 8000,
+		Seed:         1,
+	}
+
+	cfg.Design = "Silo"
+	fast, err := silo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Design = "Base"
+	base, err := silo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s, %d cores, %d transactions\n", cfg.Workload, cfg.Cores, cfg.Transactions)
+	fmt.Printf("  %-6s  %12s  %14s\n", "design", "tx/M-cycles", "media writes")
+	fmt.Printf("  %-6s  %12.1f  %14d\n", "Base", base.Throughput(), base.MediaWrites)
+	fmt.Printf("  %-6s  %12.1f  %14d\n", "Silo", fast.Throughput(), fast.MediaWrites)
+	fmt.Printf("Silo: %.1fx the throughput, %.1f%% fewer PM media writes\n",
+		fast.Throughput()/base.Throughput(),
+		100*(1-float64(fast.MediaWrites)/float64(base.MediaWrites)))
+}

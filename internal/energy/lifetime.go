@@ -1,0 +1,51 @@
+package energy
+
+// PM lifetime model: phase-change memory cells endure a bounded number of
+// programs (10^8–10^9 for PCM). The paper motivates Fig. 11 with PM
+// lifetime ("exacerbates the write endurance of PM and hence shortens the
+// PM lifetime"); this model turns the simulator's media-write counters
+// into the headline a datasheet would carry.
+
+// LifetimeParams describes a PM DIMM for lifetime estimation.
+type LifetimeParams struct {
+	CapacityBytes int64   // device capacity
+	CellEndurance float64 // program cycles per cell (PCM: ~1e8)
+	WearLeveling  float64 // efficiency of wear leveling, 0..1 (1 = perfect)
+	CyclesPerSec  float64 // simulated clock rate (2 GHz)
+}
+
+// DefaultLifetimeParams returns a 16 GB PCM DIMM at 2 GHz with 10^8-cycle
+// cells and 90 %-efficient wear leveling.
+func DefaultLifetimeParams() LifetimeParams {
+	return LifetimeParams{
+		CapacityBytes: 16 << 30,
+		CellEndurance: 1e8,
+		WearLeveling:  0.9,
+		CyclesPerSec:  2e9,
+	}
+}
+
+// Years estimates the device lifetime in years for a workload that wrote
+// mediaBytes to the media over simCycles of simulated time, assuming the
+// workload runs continuously at that rate. With perfect wear leveling the
+// device dies when CapacityBytes × CellEndurance total byte-programs have
+// been issued; imperfect leveling scales that budget down.
+func (p LifetimeParams) Years(mediaBytes int64, simCycles int64) float64 {
+	if mediaBytes <= 0 || simCycles <= 0 {
+		return 0
+	}
+	bytesPerSec := float64(mediaBytes) / (float64(simCycles) / p.CyclesPerSec)
+	budget := float64(p.CapacityBytes) * p.CellEndurance * p.WearLeveling
+	seconds := budget / bytesPerSec
+	return seconds / (365.25 * 24 * 3600)
+}
+
+// RelativeLifetime returns how much longer a device lasts under `writes`
+// media writes than under `baseWrites` for the same work: the Fig. 11
+// endurance argument as a single ratio.
+func RelativeLifetime(baseWrites, writes int64) float64 {
+	if writes <= 0 || baseWrites <= 0 {
+		return 0
+	}
+	return float64(baseWrites) / float64(writes)
+}

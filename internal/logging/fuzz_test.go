@@ -1,0 +1,34 @@
+package logging
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeImage feeds arbitrary bytes to the log-record decoder: it must
+// never panic and never read past the declared record size, and any record
+// it accepts must re-encode to the same bytes (up to its size).
+func FuzzDecodeImage(f *testing.F) {
+	var seed [UndoRedoBytes]byte
+	Image{Kind: ImageUndoRedo, TID: 1, TxID: 2, Addr: 0x1000, Data: 3, Data2: 4}.Encode(seed[:])
+	f.Add(seed[:])
+	f.Add([]byte{0})
+	f.Add([]byte{0x0B, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		im, n, ok := DecodeImage(in)
+		if !ok {
+			return
+		}
+		if n > len(in) {
+			t.Fatalf("decoder claimed %d bytes from a %d-byte input", n, len(in))
+		}
+		var buf [UndoRedoBytes]byte
+		n2 := im.Encode(buf[:])
+		if n2 != n {
+			t.Fatalf("re-encode size %d != decoded size %d", n2, n)
+		}
+		if !bytes.Equal(buf[:n], in[:n]) {
+			t.Fatalf("re-encode differs: %x vs %x", buf[:n], in[:n])
+		}
+	})
+}

@@ -1,0 +1,303 @@
+// Package machine assembles the simulated system: the cache hierarchy, the
+// PM device behind the memory controller, and a pluggable logging design.
+// It implements sim.Executor, maintains the golden committed-state shadow
+// used to verify crash recovery, and provides crash injection.
+package machine
+
+import (
+	"silo/internal/cache"
+	"silo/internal/logging"
+	"silo/internal/mem"
+	"silo/internal/pm"
+	"silo/internal/sim"
+	"silo/internal/stats"
+	"silo/internal/trace"
+)
+
+// Config assembles a machine.
+type Config struct {
+	Cores       int
+	PM          pm.Config
+	Cache       cache.HierarchyConfig
+	Design      logging.Factory
+	LogBuf      int       // per-core log buffer entries (0 → default 20)
+	LogLat      sim.Cycle // log buffer access latency (0 → 8)
+	MCReadL     sim.Cycle // fill latency when LAD's MC buffer hits (0 → 40)
+	PersistPath sim.Cycle // core→ADR-domain path for synchronous persists (0 → 60)
+
+	// CrashAtOp injects a crash when the op counter reaches this value
+	// (0 disables).
+	CrashAtOp int64
+
+	// Trace, when non-nil, records every executed operation.
+	Trace *trace.Writer
+}
+
+// Machine is the simulated system for one run.
+type Machine struct {
+	cfg    Config
+	dev    *pm.Device
+	hier   *cache.Hierarchy
+	region *logging.RegionWriter
+	design logging.Design
+	engine *sim.Engine
+
+	inTx      []bool
+	pending   []map[mem.Addr]mem.Word // per-core uncommitted writes (golden)
+	committed map[mem.Addr]mem.Word   // golden committed state
+	baseline  map[mem.Addr]mem.Word   // pre-first-write values
+	unsafeW   map[mem.Addr]bool       // words written outside transactions
+
+	opCount     int64
+	commits     int64
+	loads       int64
+	storesTotal int64
+	txStoreAcc  int64 // stores inside committed transactions
+
+	storeStall  int64 // design-induced stall cycles on the store path
+	commitStall int64 // design-induced stall cycles at Tx_end
+
+	txBeganAt  []sim.Cycle     // per-core Tx_begin timestamps
+	commitHist stats.Histogram // commit-stall distribution
+	txHist     stats.Histogram // whole-transaction latency distribution
+}
+
+// New builds the machine. Call Engine() to obtain the sim engine.
+func New(cfg Config) *Machine {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.LogBuf == 0 {
+		cfg.LogBuf = logging.DefaultBufferEntries
+	}
+	if cfg.LogLat == 0 {
+		cfg.LogLat = 8
+	}
+	if cfg.MCReadL == 0 {
+		cfg.MCReadL = 40
+	}
+	if cfg.PersistPath == 0 {
+		cfg.PersistPath = 60
+	}
+	m := &Machine{
+		cfg:       cfg,
+		dev:       pm.New(cfg.PM),
+		inTx:      make([]bool, cfg.Cores),
+		committed: make(map[mem.Addr]mem.Word),
+		baseline:  make(map[mem.Addr]mem.Word),
+		unsafeW:   make(map[mem.Addr]bool),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.pending = append(m.pending, make(map[mem.Addr]mem.Word))
+	}
+	m.txBeganAt = make([]sim.Cycle, cfg.Cores)
+	m.hier = cache.NewHierarchy(cfg.Cores, cfg.Cache, m.fill, m.writeback)
+	m.region = logging.NewRegionWriter(m.dev, cfg.Cores)
+	env := &logging.Env{
+		PM:            m.dev,
+		Cache:         m.hier,
+		Region:        m.region,
+		Cores:         cfg.Cores,
+		LogBufEntries: cfg.LogBuf,
+		LogBufLatency: cfg.LogLat,
+		PersistPath:   cfg.PersistPath,
+	}
+	m.design = cfg.Design(env)
+	return m
+}
+
+// Engine returns (building on first use) the sim engine for this machine.
+func (m *Machine) Engine(seed int64) *sim.Engine {
+	if m.engine == nil {
+		m.engine = sim.NewEngine(m, m.cfg.Cores, seed)
+	}
+	return m.engine
+}
+
+// Device exposes the PM device (tests and recovery verification).
+func (m *Machine) Device() *pm.Device { return m.dev }
+
+// Hierarchy exposes the cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Region exposes the log-region writer.
+func (m *Machine) Region() *logging.RegionWriter { return m.region }
+
+// Design exposes the logging design under test.
+func (m *Machine) Design() logging.Design { return m.design }
+
+// Commits returns the number of committed transactions so far.
+func (m *Machine) Commits() int64 { return m.commits }
+
+// Crashed reports whether a crash was injected.
+func (m *Machine) Crashed() bool { return m.engine != nil && m.engine.Crashed() }
+
+// Now returns the simulated wall clock.
+func (m *Machine) Now() sim.Cycle {
+	if m.engine == nil {
+		return 0
+	}
+	return m.engine.Now()
+}
+
+func (m *Machine) fill(la mem.Addr, now sim.Cycle) ([mem.LineSize]byte, sim.Cycle) {
+	if r, ok := m.design.(logging.MCReader); ok {
+		if data, hit := r.MCBuffered(la); hit {
+			return data, m.cfg.MCReadL
+		}
+	}
+	b, lat := m.dev.Read(now, la, mem.LineSize)
+	var line [mem.LineSize]byte
+	copy(line[:], b)
+	return line, lat
+}
+
+func (m *Machine) writeback(now sim.Cycle, la mem.Addr, data [mem.LineSize]byte) {
+	m.design.CachelineEvicted(now, la, data)
+}
+
+// Exec implements sim.Executor.
+func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
+	m.opCount++
+	if m.cfg.CrashAtOp > 0 && m.opCount >= m.cfg.CrashAtOp && m.engine != nil && !m.engine.Crashed() {
+		m.InjectCrash(now)
+		return sim.Result{Latency: -1}
+	}
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Op(core, op)
+	}
+	if t, ok := m.design.(logging.Ticker); ok {
+		t.Tick(now)
+	}
+	switch op.Kind {
+	case sim.OpLoad:
+		m.loads++
+		w, lat := m.hier.Load(core, op.Addr, now)
+		return sim.Result{Latency: lat, Value: w}
+	case sim.OpStore:
+		m.storesTotal++
+		old, lat := m.hier.Store(core, op.Addr, op.Data, now)
+		extra := m.design.Store(core, op.Addr, old, op.Data, now+lat)
+		m.storeStall += int64(extra)
+		if m.inTx[core] {
+			if _, seen := m.baseline[op.Addr]; !seen {
+				m.baseline[op.Addr] = old
+			}
+			m.pending[core][op.Addr] = op.Data
+		} else {
+			m.unsafeW[op.Addr] = true
+		}
+		return sim.Result{Latency: lat + extra}
+	case sim.OpTxBegin:
+		m.inTx[core] = true
+		m.txBeganAt[core] = now
+		for a := range m.pending[core] {
+			delete(m.pending[core], a)
+		}
+		return sim.Result{Latency: 1 + m.design.TxBegin(core, now)}
+	case sim.OpTxEnd:
+		extra := m.design.TxEnd(core, now)
+		m.commitStall += int64(extra)
+		m.commitHist.Observe(int64(extra))
+		m.txHist.Observe(int64(now + extra - m.txBeganAt[core]))
+		m.inTx[core] = false
+		m.commits++
+		m.txStoreAcc += int64(len(m.pending[core]))
+		for a, v := range m.pending[core] {
+			m.committed[a] = v
+			delete(m.pending[core], a)
+		}
+		return sim.Result{Latency: 1 + extra}
+	case sim.OpCompute:
+		return sim.Result{Latency: op.Cycles}
+	}
+	return sim.Result{Latency: 1}
+}
+
+// InjectCrash models a power failure at time now: the design performs its
+// battery-backed flush (§III-G for Silo), the volatile caches vanish —
+// unless the platform battery-backs them (eADR/BBB designs), in which
+// case every dirty line is flushed to PM first — and the engine unwinds
+// every core. The PM device (media + ADR domains) survives untouched.
+func (m *Machine) InjectCrash(now sim.Cycle) {
+	m.design.Crash(now)
+	if p, ok := m.design.(logging.CachePersistor); ok && p.PersistCachesAtCrash() {
+		m.hier.ForceWriteBackAll(now)
+	}
+	m.hier.InvalidateAll()
+	if m.engine != nil {
+		m.engine.Crash()
+	}
+}
+
+// GoldenCommitted returns the expected durable value of addr after
+// recovery: the last committed value, or the pre-first-write baseline.
+// ok is false for words the verifier must skip (never written in a
+// transaction, or tainted by non-transactional stores).
+func (m *Machine) GoldenCommitted(addr mem.Addr) (mem.Word, bool) {
+	if m.unsafeW[addr] {
+		return 0, false
+	}
+	if v, ok := m.committed[addr]; ok {
+		return v, true
+	}
+	if v, ok := m.baseline[addr]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// WrittenWords returns every word address that participated in any
+// transaction (committed or not), for recovery verification sweeps.
+func (m *Machine) WrittenWords() []mem.Addr {
+	out := make([]mem.Addr, 0, len(m.baseline))
+	for a := range m.baseline {
+		if !m.unsafeW[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CommitHist returns the distribution of commit-time stalls.
+func (m *Machine) CommitHist() *stats.Histogram { return &m.commitHist }
+
+// TxHist returns the distribution of whole-transaction latencies.
+func (m *Machine) TxHist() *stats.Histogram { return &m.txHist }
+
+// CollectStats drains every component's counters into one run record.
+// It finalizes media accounting by draining the on-PM buffer.
+func (m *Machine) CollectStats(design, workload string) stats.Run {
+	m.dev.DrainAll()
+	ds := m.dev.Stats()
+	r := stats.Run{
+		Design:       design,
+		Workload:     workload,
+		Cores:        m.cfg.Cores,
+		Transactions: m.commits,
+		Loads:        m.loads,
+		Stores:       m.storesTotal,
+		MediaWrites:  ds.MediaWrites,
+		MediaBytes:   ds.MediaBytes,
+		WPQWrites:    ds.WPQWrites,
+		WPQBytes:     ds.WPQBytes,
+		PMReads:      ds.Reads,
+		Writebacks:   m.hier.Writebacks,
+
+		StoreStallCycles:  m.storeStall,
+		CommitStallCycles: m.commitStall,
+	}
+	if m.engine != nil {
+		r.Cycles = int64(m.engine.Now())
+	}
+	for i := 0; i < m.cfg.Cores; i++ {
+		r.L1Hits += m.hier.L1(i).Hits
+		r.L1Misses += m.hier.L1(i).Misses
+		r.L2Hits += m.hier.L2(i).Hits
+		r.L2Misses += m.hier.L2(i).Misses
+	}
+	r.L3Hits = m.hier.L3().Hits
+	r.L3Misses = m.hier.L3().Misses
+	m.design.CollectStats(&r)
+	return r
+}

@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLine(t *testing.T) {
+	cases := []struct {
+		in   Addr
+		line Addr
+		off  int
+		word Addr
+		wIdx int
+	}{
+		{0, 0, 0, 0, 0},
+		{1, 0, 1, 0, 0},
+		{63, 0, 63, 56, 7},
+		{64, 64, 0, 64, 0},
+		{0x1000 + 17, 0x1000, 17, 0x1000 + 16, 2},
+		{0xFFFFFFFFFFF8, 0xFFFFFFFFFFC0, 56, 0xFFFFFFFFFFF8, 7},
+	}
+	for _, c := range cases {
+		if got := c.in.Line(); got != c.line {
+			t.Errorf("%v.Line() = %v, want %v", c.in, got, c.line)
+		}
+		if got := c.in.LineOffset(); got != c.off {
+			t.Errorf("%v.LineOffset() = %d, want %d", c.in, got, c.off)
+		}
+		if got := c.in.Word(); got != c.word {
+			t.Errorf("%v.Word() = %v, want %v", c.in, got, c.word)
+		}
+		if got := c.in.WordIndex(); got != c.wIdx {
+			t.Errorf("%v.WordIndex() = %d, want %d", c.in, got, c.wIdx)
+		}
+	}
+}
+
+func TestAddrAlignment(t *testing.T) {
+	if !Addr(0).IsWordAligned() || !Addr(0).IsLineAligned() {
+		t.Error("0 must be word- and line-aligned")
+	}
+	if Addr(4).IsWordAligned() {
+		t.Error("4 is not word-aligned")
+	}
+	if !Addr(8).IsWordAligned() {
+		t.Error("8 is word-aligned")
+	}
+	if Addr(8).IsLineAligned() {
+		t.Error("8 is not line-aligned")
+	}
+	if !Addr(128).IsLineAligned() {
+		t.Error("128 is line-aligned")
+	}
+}
+
+func TestAddrProperties(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		// A line address is line-aligned and contains the original.
+		l := addr.Line()
+		if !l.IsLineAligned() || addr < l || addr >= l+LineSize {
+			return false
+		}
+		// Word/offset decomposition reassembles the address.
+		return addr.Word()+Addr(int(addr)&(WordSize-1)) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultLayout(t *testing.T) {
+	l := DefaultLayout()
+	if l.DataSize+l.LogSize != 16<<30 {
+		t.Fatalf("layout does not cover 16 GB: data=%d log=%d", l.DataSize, l.LogSize)
+	}
+	if l.InLog(l.DataBase) {
+		t.Error("data base must not be in log region")
+	}
+	if !l.InData(l.DataBase) {
+		t.Error("data base must be in data region")
+	}
+	if !l.InLog(l.LogBase) {
+		t.Error("log base must be in log region")
+	}
+	if l.InData(l.LogBase) {
+		t.Error("log base must not be in data region")
+	}
+	if l.InData(l.LogBase+Addr(l.LogSize)) || l.InLog(l.LogBase+Addr(l.LogSize)) {
+		t.Error("one past the end is in neither region")
+	}
+}
+
+func TestThreadLogAreasDisjoint(t *testing.T) {
+	l := DefaultLayout()
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		var prevEnd Addr
+		for tid := 0; tid < n; tid++ {
+			base, size := l.ThreadLogArea(tid, n)
+			if size == 0 {
+				t.Fatalf("n=%d tid=%d: zero-size area", n, tid)
+			}
+			if !base.IsLineAligned() {
+				t.Errorf("n=%d tid=%d: area base %v not line-aligned", n, tid, base)
+			}
+			if tid > 0 && base < prevEnd {
+				t.Errorf("n=%d tid=%d: area overlaps previous", n, tid)
+			}
+			if !l.InLog(base) || !l.InLog(base+Addr(size-1)) {
+				t.Errorf("n=%d tid=%d: area escapes log region", n, tid)
+			}
+			prevEnd = base + Addr(size)
+		}
+	}
+}
+
+func TestThreadLogAreaZeroThreads(t *testing.T) {
+	l := DefaultLayout()
+	base, size := l.ThreadLogArea(0, 0)
+	if size == 0 || !l.InLog(base) {
+		t.Error("nthreads<=0 must fall back to a single full area")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0xABC).String(); got != "0x000000000abc" {
+		t.Errorf("Addr.String() = %q", got)
+	}
+}

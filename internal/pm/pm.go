@@ -1,0 +1,469 @@
+// Package pm models the persistent-memory device of the simulated machine:
+// a phase-change-memory DIMM behind the memory controller's write pending
+// queue (WPQ), with an internal on-PM buffer and bit-level write reduction.
+//
+// Three properties matter for the Silo reproduction and are modeled
+// faithfully:
+//
+//   - The WPQ sits in the ADR persistence domain: a write is durable the
+//     moment it is *accepted* into the queue, and acceptance can stall when
+//     the queue is full, which is how heavy-write designs lose throughput.
+//
+//   - The on-PM buffer (256 B lines by default) coalesces incoming writes
+//     — overlapping words, adjacent words, and 8 B new-data words sharing a
+//     line with evicted 64 B cachelines (Fig. 9 cases 1–3) — before they
+//     reach the physical media.
+//
+//   - Data-comparison-write (DCW) suppresses media writes whose bits did
+//     not change, so a cacheline evicted after Silo has already in-place
+//     updated the same words costs no extra media wear (§III-D).
+//
+// Because both the WPQ and the on-PM buffer are persistent domains, the
+// device applies data eagerly and tracks timing separately: the byte
+// contents held by a Device always represent the durable state, which is
+// exactly what a crash preserves.
+package pm
+
+import (
+	"fmt"
+
+	"silo/internal/mem"
+	"silo/internal/sim"
+)
+
+// Config parameterizes the device; see DefaultConfig.
+type Config struct {
+	Layout mem.Layout
+
+	ReadLatency  sim.Cycle // PM read latency (cycles)
+	WriteLatency sim.Cycle // PM media write latency (cycles); informational
+
+	WPQEntries     int       // write pending queue slots (ADR domain), per channel
+	ServiceBase    sim.Cycle // fixed cycles to drain one WPQ entry
+	ServicePerByte sim.Cycle // additional drain cycles per byte
+	Banks          int       // parallel PM banks the drain fans out over
+	Channels       int       // independent memory controllers / WPQs (§III-D, "Multiple MCs"); requests interleave by on-PM-buffer line address
+
+	BufLineSize int // on-PM buffer line size in bytes (S in §III-F)
+	BufLines    int // on-PM buffer capacity in lines
+
+	Coalescing bool // enable on-PM buffer write coalescing
+	DCW        bool // enable data-comparison-write media reduction
+}
+
+// DefaultConfig mirrors Table II: 50/150 ns read/write at 2 GHz, a
+// 64-entry WPQ, and a 256 B on-PM buffer line size.
+func DefaultConfig() Config {
+	return Config{
+		Layout:         mem.DefaultLayout(),
+		ReadLatency:    100,
+		WriteLatency:   300,
+		WPQEntries:     64,
+		ServiceBase:    6,
+		ServicePerByte: 1,
+		Banks:          4,
+		Channels:       1,
+		BufLineSize:    256,
+		BufLines:       64,
+		Coalescing:     true,
+		DCW:            true,
+	}
+}
+
+// Stats counts device activity for one run.
+type Stats struct {
+	WPQWrites   int64 // requests accepted into the WPQ
+	WPQBytes    int64
+	MediaWrites int64 // 64 B-chunk write requests reaching the physical media
+	MediaBytes  int64 // bytes actually programmed (post DCW)
+	Reads       int64
+}
+
+type bufLine struct {
+	base  mem.Addr // BufLineSize-aligned
+	data  []byte
+	dirty []bool
+	lru   int64
+}
+
+// Device is the simulated PM DIMM plus the controller-side WPQs (one per
+// channel).
+type Device struct {
+	cfg   Config
+	media map[mem.Addr]*[mem.LineSize]byte // durable media, 64 B lines
+	buf   map[mem.Addr]*bufLine            // on-PM buffer, BufLineSize lines
+	wpq   []*sim.ServiceQueue
+	tick  int64 // LRU clock for the on-PM buffer
+	stats Stats
+
+	// wear counts media write requests per 64 B line — the input to the
+	// endurance/hotspot analysis (PCM cells die where writes concentrate;
+	// wear leveling can only smooth so much).
+	wear map[mem.Addr]int64
+}
+
+// New creates a Device from cfg.
+func New(cfg Config) *Device {
+	if cfg.BufLineSize < mem.LineSize {
+		cfg.BufLineSize = mem.LineSize
+	}
+	if cfg.BufLines < 1 {
+		cfg.BufLines = 1
+	}
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	d := &Device{
+		cfg:   cfg,
+		media: make(map[mem.Addr]*[mem.LineSize]byte),
+		buf:   make(map[mem.Addr]*bufLine),
+		wear:  make(map[mem.Addr]int64),
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		d.wpq = append(d.wpq, sim.NewServiceQueue(cfg.WPQEntries))
+	}
+	return d
+}
+
+// channel returns the WPQ serving addr: channels interleave at the on-PM
+// buffer line granularity, so a transaction's coalesced words stay on one
+// controller (the paper's per-MC log controller invariant).
+func (d *Device) channel(addr mem.Addr) *sim.ServiceQueue {
+	if len(d.wpq) == 1 {
+		return d.wpq[0]
+	}
+	idx := uint64(addr) / uint64(d.cfg.BufLineSize) % uint64(len(d.wpq))
+	return d.wpq[idx]
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// WPQ exposes channel i's write pending queue (used by designs and tests
+// that inspect queue state; the ADR domain is the union of all channels).
+func (d *Device) WPQ(i int) *sim.ServiceQueue { return d.wpq[i] }
+
+// Channels returns the number of memory-controller channels.
+func (d *Device) Channels() int { return len(d.wpq) }
+
+// Populate writes data directly into the media with no timing or traffic
+// accounting (workload setup, battery-powered crash flushes). Bytes of the
+// range still sitting dirty in the on-PM buffer are overwritten there too,
+// so the durable view (buffer over media) always reflects the populate.
+func (d *Device) Populate(addr mem.Addr, data []byte) {
+	for i := 0; i < len(data); {
+		line := (addr + mem.Addr(i)).Line()
+		off := (addr + mem.Addr(i)).LineOffset()
+		n := copy(d.mediaLine(line)[off:], data[i:])
+		i += n
+	}
+	if !d.cfg.Coalescing || len(d.buf) == 0 {
+		return
+	}
+	bls := mem.Addr(d.cfg.BufLineSize)
+	first := addr &^ (bls - 1)
+	last := (addr + mem.Addr(len(data)) - 1) &^ (bls - 1)
+	for base := first; base <= last; base += bls {
+		bl, ok := d.buf[base]
+		if !ok {
+			continue
+		}
+		for i := 0; i < len(data); i++ {
+			a := addr + mem.Addr(i)
+			if a >= base && a < base+bls && bl.dirty[int(a-base)] {
+				bl.data[int(a-base)] = data[i]
+			}
+		}
+	}
+}
+
+func (d *Device) mediaLine(line mem.Addr) *[mem.LineSize]byte {
+	l, ok := d.media[line]
+	if !ok {
+		l = new([mem.LineSize]byte)
+		d.media[line] = l
+	}
+	return l
+}
+
+// Write submits one write request of len(data) bytes at addr, arriving at
+// the memory controller at time `arrival`. It returns the time the request
+// is accepted into the WPQ (the durability point under ADR) and the time
+// it has fully drained. Contents are applied eagerly (see package comment).
+func (d *Device) Write(arrival sim.Cycle, addr mem.Addr, data []byte) (accept, finish sim.Cycle) {
+	if len(data) == 0 {
+		return arrival, arrival
+	}
+	service := d.cfg.ServiceBase + d.cfg.ServicePerByte*sim.Cycle(len(data))
+	if d.cfg.Banks > 1 {
+		// Bank-level parallelism (NVMain-style): the single drain server
+		// approximates Banks parallel channels.
+		service = (service + sim.Cycle(d.cfg.Banks) - 1) / sim.Cycle(d.cfg.Banks)
+	}
+	accept, finish = d.channel(addr).Accept(arrival, service)
+	d.stats.WPQWrites++
+	d.stats.WPQBytes += int64(len(data))
+	d.apply(addr, data)
+	return accept, finish
+}
+
+// apply routes the bytes through the on-PM buffer (splitting at buffer-line
+// boundaries) or, with coalescing disabled, straight to the media.
+func (d *Device) apply(addr mem.Addr, data []byte) {
+	if !d.cfg.Coalescing {
+		d.writeMedia(addr, data)
+		return
+	}
+	bls := mem.Addr(d.cfg.BufLineSize)
+	for len(data) > 0 {
+		base := addr &^ (bls - 1)
+		off := int(addr - base)
+		n := d.cfg.BufLineSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		d.bufMerge(base, off, data[:n])
+		addr += mem.Addr(n)
+		data = data[n:]
+	}
+}
+
+func (d *Device) bufMerge(base mem.Addr, off int, data []byte) {
+	bl, ok := d.buf[base]
+	if !ok {
+		bl = &bufLine{
+			base:  base,
+			data:  make([]byte, d.cfg.BufLineSize),
+			dirty: make([]bool, d.cfg.BufLineSize),
+		}
+		d.buf[base] = bl
+		if len(d.buf) > d.cfg.BufLines {
+			d.evictLRU(base)
+		}
+	}
+	copy(bl.data[off:], data)
+	for i := off; i < off+len(data); i++ {
+		bl.dirty[i] = true
+	}
+	d.tick++
+	bl.lru = d.tick
+}
+
+func (d *Device) evictLRU(keep mem.Addr) {
+	var victim *bufLine
+	for _, bl := range d.buf {
+		if bl.base == keep {
+			continue
+		}
+		if victim == nil || bl.lru < victim.lru {
+			victim = bl
+		}
+	}
+	if victim != nil {
+		d.flushBufLine(victim)
+	}
+}
+
+// flushBufLine applies a buffer line's dirty bytes to the media, counting
+// one media write request per 64 B chunk that actually changes (DCW), or
+// per dirty chunk when DCW is disabled.
+func (d *Device) flushBufLine(bl *bufLine) {
+	delete(d.buf, bl.base)
+	for chunk := 0; chunk < d.cfg.BufLineSize; chunk += mem.LineSize {
+		line := bl.base + mem.Addr(chunk)
+		ml := d.mediaLine(line)
+		changed, dirtyAny := 0, false
+		for i := 0; i < mem.LineSize; i++ {
+			if !bl.dirty[chunk+i] {
+				continue
+			}
+			dirtyAny = true
+			if ml[i] != bl.data[chunk+i] {
+				changed++
+				ml[i] = bl.data[chunk+i]
+			}
+		}
+		if !dirtyAny {
+			continue
+		}
+		if d.cfg.DCW {
+			if changed > 0 {
+				d.stats.MediaWrites++
+				d.stats.MediaBytes += int64(changed)
+				d.wear[line]++
+			}
+		} else {
+			d.stats.MediaWrites++
+			d.stats.MediaBytes += mem.LineSize
+			d.wear[line]++
+		}
+	}
+}
+
+// writeMedia bypasses the buffer (coalescing disabled); DCW still applies.
+func (d *Device) writeMedia(addr mem.Addr, data []byte) {
+	for len(data) > 0 {
+		line := addr.Line()
+		off := addr.LineOffset()
+		n := mem.LineSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		ml := d.mediaLine(line)
+		changed := 0
+		for i := 0; i < n; i++ {
+			if ml[off+i] != data[i] {
+				changed++
+				ml[off+i] = data[i]
+			}
+		}
+		if d.cfg.DCW {
+			if changed > 0 {
+				d.stats.MediaWrites++
+				d.stats.MediaBytes += int64(changed)
+				d.wear[line]++
+			}
+		} else {
+			d.stats.MediaWrites++
+			d.stats.MediaBytes += int64(n)
+			d.wear[line]++
+		}
+		addr += mem.Addr(n)
+		data = data[n:]
+	}
+}
+
+// Read returns n bytes of durable state starting at addr (on-PM buffer
+// contents shadow the media) and the read latency. Reads have priority
+// over the write drain (FRFCFS), but still queue behind the writes already
+// occupying the channel: each pending WPQ entry on the target channel adds
+// a small interference penalty.
+func (d *Device) Read(arrival sim.Cycle, addr mem.Addr, n int) ([]byte, sim.Cycle) {
+	d.stats.Reads++
+	lat := d.cfg.ReadLatency + readInterferencePerEntry*sim.Cycle(d.channel(addr).Occupancy(arrival))
+	return d.Peek(addr, n), lat
+}
+
+// readInterferencePerEntry is the extra read latency per write already
+// queued on the channel (bank conflicts + bus turnaround).
+const readInterferencePerEntry sim.Cycle = 2
+
+// Peek returns durable bytes with no timing or accounting; recovery and
+// test verification use it.
+func (d *Device) Peek(addr mem.Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := addr + mem.Addr(i)
+		if d.cfg.Coalescing {
+			bls := mem.Addr(d.cfg.BufLineSize)
+			base := a &^ (bls - 1)
+			if bl, ok := d.buf[base]; ok && bl.dirty[int(a-base)] {
+				out[i] = bl.data[int(a-base)]
+				continue
+			}
+		}
+		if ml, ok := d.media[a.Line()]; ok {
+			out[i] = ml[a.LineOffset()]
+		}
+	}
+	return out
+}
+
+// PeekWord returns the durable 8-byte word at addr.
+func (d *Device) PeekWord(addr mem.Addr) mem.Word {
+	b := d.Peek(addr.Word(), mem.WordSize)
+	var w mem.Word
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | mem.Word(b[i])
+	}
+	return w
+}
+
+// PokeWord writes a word durably with no timing (recovery uses it; the
+// recovery path's own traffic is not part of the evaluated run). Populate
+// keeps the on-PM buffer coherent, so recovery writes are never shadowed
+// by stale pre-crash buffer contents.
+func (d *Device) PokeWord(addr mem.Addr, w mem.Word) {
+	var b [mem.WordSize]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(w >> (8 * i))
+	}
+	d.Populate(addr.Word(), b[:])
+}
+
+// Erase zeroes [addr, addr+n) with no timing accounting — log-region
+// truncation, which is a pointer update in real hardware. Buffer lines
+// overlapping the range are first drained to the media (their writes were
+// real and count normally), so a later recovery scan can neither see stale
+// records shadowed in the buffer nor lose traffic accounting.
+func (d *Device) Erase(addr mem.Addr, n int) {
+	if d.cfg.Coalescing {
+		bls := mem.Addr(d.cfg.BufLineSize)
+		first := addr &^ (bls - 1)
+		last := (addr + mem.Addr(n) - 1) &^ (bls - 1)
+		for base := first; base <= last; base += bls {
+			if bl, ok := d.buf[base]; ok {
+				d.flushBufLine(bl)
+			}
+		}
+	}
+	d.Populate(addr, make([]byte, n))
+}
+
+// DrainAll flushes every on-PM buffer line to the media, finalizing the
+// media-write accounting at the end of a run.
+func (d *Device) DrainAll() {
+	for {
+		var any *bufLine
+		for _, bl := range d.buf {
+			if any == nil || bl.base < any.base {
+				any = bl
+			}
+		}
+		if any == nil {
+			return
+		}
+		d.flushBufLine(any)
+	}
+}
+
+// Wear describes the media write distribution across 64 B lines.
+type Wear struct {
+	LinesTouched int64
+	MaxWrites    int64    // writes to the hottest line
+	MeanWrites   float64  // mean writes over touched lines
+	HottestLine  mem.Addr // address of the hottest line
+}
+
+// WearStats summarizes how evenly the media writes spread — the endurance
+// hotspot view behind the paper's lifetime argument: a line written 100x
+// more often than average dies 100x sooner (pre wear-leveling).
+func (d *Device) WearStats() Wear {
+	var w Wear
+	var total int64
+	for line, n := range d.wear {
+		total += n
+		w.LinesTouched++
+		if n > w.MaxWrites {
+			w.MaxWrites = n
+			w.HottestLine = line
+		}
+	}
+	if w.LinesTouched > 0 {
+		w.MeanWrites = float64(total) / float64(w.LinesTouched)
+	}
+	return w
+}
+
+// String summarizes the device for debugging.
+func (d *Device) String() string {
+	var accepted int64
+	for _, q := range d.wpq {
+		accepted += q.Accepted()
+	}
+	return fmt.Sprintf("pm.Device{lines=%d bufLines=%d channels=%d wpqAccepted=%d mediaWrites=%d}",
+		len(d.media), len(d.buf), len(d.wpq), accepted, d.stats.MediaWrites)
+}

@@ -1,0 +1,24 @@
+// Package pmds implements the persistent data structures behind the
+// paper's benchmarks (Table III and Fig. 4): array, B-tree, hash table,
+// queue, red-black tree, radix tree (PMDK Rtree) and crit-bit trie (PMDK
+// Ctrie). Every structure keeps all of its state in simulated persistent
+// memory and issues each word access through an Accessor, so the same
+// operation code runs both during untimed setup (direct device access)
+// and inside simulated transactions (through a core's sim context).
+package pmds
+
+import "silo/internal/mem"
+
+// Accessor is the word-granularity memory interface the data structures
+// use. *sim.Ctx satisfies it (timed, through the caches) and so does the
+// direct device accessor used for setup.
+type Accessor interface {
+	Load(addr mem.Addr) mem.Word
+	Store(addr mem.Addr, v mem.Word)
+}
+
+// word returns the address of field i (0-based word index) of the record
+// at base.
+func word(base mem.Addr, i int) mem.Addr {
+	return base + mem.Addr(i*mem.WordSize)
+}

@@ -1,0 +1,251 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// BPTree is a B+-tree in the mold of the persistent indexes the paper's
+// related work discusses (NVTree, FAST&FAIR): sorted keys inside
+// multi-cacheline nodes updated by in-place shifts, values only in leaves,
+// and leaves chained by sibling pointers for range scans. Deletion is
+// leaf-local (lazy): keys are removed without rebalancing, as FAST&FAIR
+// does, trading occupancy for simpler failure-atomic writes.
+//
+// Node layout (4 cachelines = 32 words):
+//
+//	w0      meta: bit0 leaf flag, bits 8.. key count
+//	w1..w15 keys (sorted)
+//	w16..w30 children (internal) or values (leaf)
+//	w31     right sibling (leaf only)
+type BPTree struct {
+	rootPtr mem.Addr
+	heap    *pmheap.Heap
+	arena   int
+}
+
+const (
+	bpMaxKeys   = 15
+	bpNodeLines = 4
+	bpKey0      = 1
+	bpVal0      = 16
+	bpSibling   = 31
+)
+
+// NewBPTree allocates an empty tree (a single empty leaf).
+func NewBPTree(acc Accessor, heap *pmheap.Heap, arena int) *BPTree {
+	t := &BPTree{rootPtr: heap.Alloc(arena, mem.WordSize, mem.WordSize), heap: heap, arena: arena}
+	leaf := t.newNode(acc, true)
+	acc.Store(t.rootPtr, mem.Word(leaf))
+	return t
+}
+
+func (t *BPTree) newNode(acc Accessor, leaf bool) mem.Addr {
+	n := t.heap.AllocLines(t.arena, bpNodeLines)
+	acc.Store(word(n, 0), btMeta(leaf, 0))
+	acc.Store(word(n, bpSibling), 0)
+	return n
+}
+
+func (t *BPTree) count(acc Accessor, n mem.Addr) int { return btN(acc.Load(word(n, 0))) }
+func (t *BPTree) isLeaf(acc Accessor, n mem.Addr) bool {
+	return btLeaf(acc.Load(word(n, 0)))
+}
+func (t *BPTree) key(acc Accessor, n mem.Addr, i int) mem.Word {
+	return acc.Load(word(n, bpKey0+i))
+}
+func (t *BPTree) val(acc Accessor, n mem.Addr, i int) mem.Word {
+	return acc.Load(word(n, bpVal0+i))
+}
+
+// findLeaf descends to the leaf covering key, recording the path.
+func (t *BPTree) findLeaf(acc Accessor, key mem.Word) (leaf mem.Addr, path []mem.Addr) {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	for !t.isLeaf(acc, n) {
+		path = append(path, n)
+		cnt := t.count(acc, n)
+		i := 0
+		for i < cnt && key >= t.key(acc, n, i) {
+			i++
+		}
+		n = mem.Addr(t.val(acc, n, i))
+	}
+	return n, path
+}
+
+// Get returns the value stored for key.
+func (t *BPTree) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	leaf, _ := t.findLeaf(acc, key)
+	cnt := t.count(acc, leaf)
+	for i := 0; i < cnt; i++ {
+		if t.key(acc, leaf, i) == key {
+			return t.val(acc, leaf, i), true
+		}
+	}
+	return 0, false
+}
+
+// Insert maps key → val, splitting nodes as needed.
+func (t *BPTree) Insert(acc Accessor, key, val mem.Word) {
+	leaf, path := t.findLeaf(acc, key)
+	cnt := t.count(acc, leaf)
+	// Update in place if present.
+	for i := 0; i < cnt; i++ {
+		if t.key(acc, leaf, i) == key {
+			acc.Store(word(leaf, bpVal0+i), val)
+			return
+		}
+	}
+	if cnt < bpMaxKeys {
+		t.insertAt(acc, leaf, key, val, cnt)
+		return
+	}
+	// Split the leaf: right half moves to a new sibling.
+	right := t.newNode(acc, true)
+	half := (bpMaxKeys + 1) / 2
+	moved := 0
+	for i := half; i < bpMaxKeys; i++ {
+		acc.Store(word(right, bpKey0+moved), t.key(acc, leaf, i))
+		acc.Store(word(right, bpVal0+moved), t.val(acc, leaf, i))
+		moved++
+	}
+	acc.Store(word(right, 0), btMeta(true, moved))
+	acc.Store(word(right, bpSibling), acc.Load(word(leaf, bpSibling)))
+	acc.Store(word(leaf, 0), btMeta(true, half))
+	acc.Store(word(leaf, bpSibling), mem.Word(right))
+	sep := t.key(acc, right, 0)
+	if key >= sep {
+		t.insertAt(acc, right, key, val, t.count(acc, right))
+	} else {
+		t.insertAt(acc, leaf, key, val, t.count(acc, leaf))
+	}
+	t.insertParent(acc, path, leaf, sep, right)
+}
+
+// insertAt shifts the sorted arrays right and places (key, val); cnt is
+// the current count (< bpMaxKeys) — the FAST&FAIR-style in-place shift.
+func (t *BPTree) insertAt(acc Accessor, n mem.Addr, key, val mem.Word, cnt int) {
+	i := cnt
+	for i > 0 && t.key(acc, n, i-1) > key {
+		acc.Store(word(n, bpKey0+i), t.key(acc, n, i-1))
+		acc.Store(word(n, bpVal0+i), t.val(acc, n, i-1))
+		i--
+	}
+	acc.Store(word(n, bpKey0+i), key)
+	acc.Store(word(n, bpVal0+i), val)
+	acc.Store(word(n, 0), btMeta(t.isLeaf(acc, n), cnt+1))
+}
+
+// insertParent links a freshly split right node under the parent chain,
+// splitting internal nodes upward as needed.
+func (t *BPTree) insertParent(acc Accessor, path []mem.Addr, left mem.Addr, sep mem.Word, right mem.Addr) {
+	if len(path) == 0 {
+		// New root.
+		root := t.newNode(acc, false)
+		acc.Store(word(root, bpKey0), sep)
+		acc.Store(word(root, bpVal0), mem.Word(left))
+		acc.Store(word(root, bpVal0+1), mem.Word(right))
+		acc.Store(word(root, 0), btMeta(false, 1))
+		acc.Store(t.rootPtr, mem.Word(root))
+		return
+	}
+	parent := path[len(path)-1]
+	cnt := t.count(acc, parent)
+	if cnt < bpMaxKeys {
+		// Shift keys and children right of the slot.
+		i := cnt
+		for i > 0 && t.key(acc, parent, i-1) > sep {
+			acc.Store(word(parent, bpKey0+i), t.key(acc, parent, i-1))
+			acc.Store(word(parent, bpVal0+i+1), t.val(acc, parent, i))
+			i--
+		}
+		acc.Store(word(parent, bpKey0+i), sep)
+		acc.Store(word(parent, bpVal0+i+1), mem.Word(right))
+		acc.Store(word(parent, 0), btMeta(false, cnt+1))
+		return
+	}
+	// Split the internal parent: middle key moves up.
+	newRight := t.newNode(acc, false)
+	// Gather cnt+1 keys and cnt+2 children conceptually; do it via a
+	// temporary in-memory copy (the simulator's accessor makes each word
+	// access explicit anyway).
+	keys := make([]mem.Word, 0, bpMaxKeys+1)
+	kids := make([]mem.Word, 0, bpMaxKeys+2)
+	kids = append(kids, t.val(acc, parent, 0))
+	inserted := false
+	for i := 0; i < cnt; i++ {
+		k := t.key(acc, parent, i)
+		if !inserted && sep < k {
+			keys = append(keys, sep)
+			kids = append(kids, mem.Word(right))
+			inserted = true
+		}
+		keys = append(keys, k)
+		kids = append(kids, t.val(acc, parent, i+1))
+	}
+	if !inserted {
+		keys = append(keys, sep)
+		kids = append(kids, mem.Word(right))
+	}
+	mid := len(keys) / 2
+	up := keys[mid]
+	// Left keeps keys[0:mid], children[0:mid+1].
+	for i := 0; i < mid; i++ {
+		acc.Store(word(parent, bpKey0+i), keys[i])
+	}
+	for i := 0; i <= mid; i++ {
+		acc.Store(word(parent, bpVal0+i), kids[i])
+	}
+	acc.Store(word(parent, 0), btMeta(false, mid))
+	// Right takes keys[mid+1:], children[mid+1:].
+	rn := 0
+	for i := mid + 1; i < len(keys); i++ {
+		acc.Store(word(newRight, bpKey0+rn), keys[i])
+		rn++
+	}
+	for i := mid + 1; i < len(kids); i++ {
+		acc.Store(word(newRight, bpVal0+(i-mid-1)), kids[i])
+	}
+	acc.Store(word(newRight, 0), btMeta(false, rn))
+	t.insertParent(acc, path[:len(path)-1], parent, up, newRight)
+}
+
+// Delete removes key from its leaf (lazy: no rebalancing, as in
+// FAST&FAIR). It reports whether the key was present.
+func (t *BPTree) Delete(acc Accessor, key mem.Word) bool {
+	leaf, _ := t.findLeaf(acc, key)
+	cnt := t.count(acc, leaf)
+	for i := 0; i < cnt; i++ {
+		if t.key(acc, leaf, i) != key {
+			continue
+		}
+		for j := i; j < cnt-1; j++ {
+			acc.Store(word(leaf, bpKey0+j), t.key(acc, leaf, j+1))
+			acc.Store(word(leaf, bpVal0+j), t.val(acc, leaf, j+1))
+		}
+		acc.Store(word(leaf, 0), btMeta(true, cnt-1))
+		return true
+	}
+	return false
+}
+
+// Scan walks up to n entries with key >= from, in key order, using the
+// leaf sibling chain, and calls fn for each. It returns how many entries
+// it visited.
+func (t *BPTree) Scan(acc Accessor, from mem.Word, n int, fn func(key, val mem.Word)) int {
+	leaf, _ := t.findLeaf(acc, from)
+	seen := 0
+	for leaf != 0 && seen < n {
+		cnt := t.count(acc, leaf)
+		for i := 0; i < cnt && seen < n; i++ {
+			k := t.key(acc, leaf, i)
+			if k < from {
+				continue
+			}
+			fn(k, t.val(acc, leaf, i))
+			seen++
+		}
+		leaf = mem.Addr(acc.Load(word(leaf, bpSibling)))
+	}
+	return seen
+}

@@ -1,0 +1,165 @@
+package pmds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silo/internal/mem"
+)
+
+func TestBPTreeInsertGetUpdate(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	if _, ok := bt.Get(acc, 5); ok {
+		t.Error("empty tree found a key")
+	}
+	for i := 1; i <= 50; i++ {
+		bt.Insert(acc, mem.Word(i*7), mem.Word(i))
+	}
+	for i := 1; i <= 50; i++ {
+		v, ok := bt.Get(acc, mem.Word(i*7))
+		if !ok || v != mem.Word(i) {
+			t.Fatalf("key %d: %d/%v", i*7, v, ok)
+		}
+	}
+	bt.Insert(acc, 7, 999)
+	if v, _ := bt.Get(acc, 7); v != 999 {
+		t.Error("update failed")
+	}
+	if _, ok := bt.Get(acc, 8); ok {
+		t.Error("phantom key")
+	}
+}
+
+func TestBPTreeSplitsDeepTree(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	// Sequential inserts force repeated leaf and internal splits.
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		bt.Insert(acc, mem.Word(i), mem.Word(i*2))
+	}
+	for _, k := range []mem.Word{1, 2, n / 2, n - 1, n} {
+		v, ok := bt.Get(acc, k)
+		if !ok || v != k*2 {
+			t.Fatalf("key %d after deep splits: %d/%v", k, v, ok)
+		}
+	}
+	// The root must no longer be a leaf.
+	root := mem.Addr(acc.Load(bt.rootPtr))
+	if bt.isLeaf(acc, root) {
+		t.Error("tree never grew past one leaf")
+	}
+}
+
+func TestBPTreeScanSortedChain(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	rng := rand.New(rand.NewSource(12))
+	model := map[mem.Word]mem.Word{}
+	for i := 0; i < 3000; i++ {
+		k := mem.Word(rng.Intn(10000)) + 1
+		bt.Insert(acc, k, k+1)
+		model[k] = k + 1
+	}
+	var got []mem.Word
+	bt.Scan(acc, 0, 1<<30, func(k, v mem.Word) {
+		if v != model[k] {
+			t.Fatalf("scan value for %d: %d want %d", k, v, model[k])
+		}
+		got = append(got, k)
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan visited %d keys, model %d", len(got), len(model))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("leaf chain not sorted")
+	}
+}
+
+func TestBPTreeScanRange(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	for i := 1; i <= 100; i++ {
+		bt.Insert(acc, mem.Word(i*10), mem.Word(i))
+	}
+	var got []mem.Word
+	n := bt.Scan(acc, 305, 5, func(k, v mem.Word) { got = append(got, k) })
+	want := []mem.Word{310, 320, 330, 340, 350}
+	if n != 5 || len(got) != 5 {
+		t.Fatalf("scan returned %d keys", n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBPTreeDeleteLazy(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	for i := 1; i <= 200; i++ {
+		bt.Insert(acc, mem.Word(i), mem.Word(i))
+	}
+	for i := 1; i <= 200; i += 2 {
+		if !bt.Delete(acc, mem.Word(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if bt.Delete(acc, 1) {
+		t.Error("double delete succeeded")
+	}
+	for i := 1; i <= 200; i++ {
+		_, ok := bt.Get(acc, mem.Word(i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestBPTreeChurnAgainstModel(t *testing.T) {
+	acc := newAcc()
+	bt := NewBPTree(acc, newHeap(), 0)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		k := mem.Word(rng.Intn(2000)) + 1
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := mem.Word(i)
+			bt.Insert(acc, k, v)
+			model[k] = v
+		case 2:
+			got := bt.Delete(acc, k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%d) = %v, model %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 3:
+			v, ok := bt.Get(acc, k)
+			want, wok := model[k]
+			if ok != wok || (ok && v != want) {
+				t.Fatalf("op %d: get(%d) = %d/%v, model %d/%v", i, k, v, ok, want, wok)
+			}
+		}
+	}
+	// Final scan agrees with the model and is sorted.
+	count := 0
+	last := mem.Word(0)
+	bt.Scan(acc, 0, 1<<30, func(k, v mem.Word) {
+		if k <= last {
+			t.Fatal("scan order violated")
+		}
+		last = k
+		if model[k] != v {
+			t.Fatalf("final scan: key %d = %d want %d", k, v, model[k])
+		}
+		count++
+	})
+	if count != len(model) {
+		t.Fatalf("final scan saw %d keys, model %d", count, len(model))
+	}
+}

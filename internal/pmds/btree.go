@@ -1,0 +1,191 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// BTree is the Btree micro-benchmark structure: a 2-3-4 B-tree (CLRS
+// minimum degree t = 2) whose every node occupies exactly one 64 B
+// cacheline: word0 holds leaf flag and key count, words1..3 the keys and
+// words4..7 the child pointers. Transactions randomly insert keys
+// (Table III).
+//
+// Node layout:
+//
+//	w0: meta — bit0 leaf flag, bits 8.. key count
+//	w1..w3: keys (ascending)
+//	w4..w7: children (internal nodes only)
+type BTree struct {
+	rootPtr mem.Addr // PM word holding the root node address
+	heap    *pmheap.Heap
+	arena   int
+}
+
+const btMaxKeys = 3
+
+// NewBTree allocates an empty tree in arena.
+func NewBTree(acc Accessor, heap *pmheap.Heap, arena int) *BTree {
+	t := &BTree{rootPtr: heap.Alloc(arena, mem.WordSize, mem.WordSize), heap: heap, arena: arena}
+	root := t.newNode(acc, true)
+	acc.Store(t.rootPtr, mem.Word(root))
+	return t
+}
+
+func (t *BTree) newNode(acc Accessor, leaf bool) mem.Addr {
+	n := t.heap.AllocLines(t.arena, 1)
+	meta := mem.Word(0)
+	if leaf {
+		meta = 1
+	}
+	acc.Store(word(n, 0), meta)
+	return n
+}
+
+func btLeaf(meta mem.Word) bool { return meta&1 != 0 }
+func btN(meta mem.Word) int     { return int(meta >> 8) }
+func btMeta(leaf bool, n int) mem.Word {
+	m := mem.Word(n) << 8
+	if leaf {
+		m |= 1
+	}
+	return m
+}
+
+func (t *BTree) key(acc Accessor, n mem.Addr, i int) mem.Word {
+	return acc.Load(word(n, 1+i))
+}
+func (t *BTree) child(acc Accessor, n mem.Addr, i int) mem.Addr {
+	return mem.Addr(acc.Load(word(n, 4+i)))
+}
+
+// Contains reports whether key is in the tree.
+func (t *BTree) Contains(acc Accessor, key mem.Word) bool {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	for {
+		meta := acc.Load(word(n, 0))
+		cnt := btN(meta)
+		i := 0
+		for i < cnt && key > t.key(acc, n, i) {
+			i++
+		}
+		if i < cnt && key == t.key(acc, n, i) {
+			return true
+		}
+		if btLeaf(meta) {
+			return false
+		}
+		n = t.child(acc, n, i)
+	}
+}
+
+// Insert adds key (a set: duplicate inserts are no-ops). It uses
+// preemptive splitting, so every node on the descent has room.
+func (t *BTree) Insert(acc Accessor, key mem.Word) {
+	root := mem.Addr(acc.Load(t.rootPtr))
+	if btN(acc.Load(word(root, 0))) == btMaxKeys {
+		s := t.newNode(acc, false)
+		acc.Store(word(s, 4), mem.Word(root))
+		t.splitChild(acc, s, 0)
+		acc.Store(t.rootPtr, mem.Word(s))
+		root = s
+	}
+	t.insertNonFull(acc, root, key)
+}
+
+// splitChild splits x's full child i into two nodes, hoisting the median
+// key into x.
+func (t *BTree) splitChild(acc Accessor, x mem.Addr, i int) {
+	y := t.child(acc, x, i)
+	ymeta := acc.Load(word(y, 0))
+	leaf := btLeaf(ymeta)
+
+	z := t.newNode(acc, leaf)
+	// z takes y's last key (index 2).
+	acc.Store(word(z, 1), t.key(acc, y, 2))
+	if !leaf {
+		acc.Store(word(z, 4), mem.Word(t.child(acc, y, 2)))
+		acc.Store(word(z, 5), mem.Word(t.child(acc, y, 3)))
+	}
+	acc.Store(word(z, 0), btMeta(leaf, 1))
+	median := t.key(acc, y, 1)
+	acc.Store(word(y, 0), btMeta(leaf, 1))
+
+	// Shift x's keys/children right of slot i and link z.
+	xmeta := acc.Load(word(x, 0))
+	xn := btN(xmeta)
+	for j := xn; j > i; j-- {
+		acc.Store(word(x, 1+j), t.key(acc, x, j-1))
+	}
+	for j := xn + 1; j > i+1; j-- {
+		acc.Store(word(x, 4+j), mem.Word(t.child(acc, x, j-1)))
+	}
+	acc.Store(word(x, 1+i), median)
+	acc.Store(word(x, 4+i+1), mem.Word(z))
+	acc.Store(word(x, 0), btMeta(btLeaf(xmeta), xn+1))
+}
+
+func (t *BTree) insertNonFull(acc Accessor, n mem.Addr, key mem.Word) {
+	for {
+		meta := acc.Load(word(n, 0))
+		cnt := btN(meta)
+		i := 0
+		for i < cnt && key > t.key(acc, n, i) {
+			i++
+		}
+		if i < cnt && key == t.key(acc, n, i) {
+			return // duplicate
+		}
+		if btLeaf(meta) {
+			for j := cnt; j > i; j-- {
+				acc.Store(word(n, 1+j), t.key(acc, n, j-1))
+			}
+			acc.Store(word(n, 1+i), key)
+			acc.Store(word(n, 0), btMeta(true, cnt+1))
+			return
+		}
+		c := t.child(acc, n, i)
+		if btN(acc.Load(word(c, 0))) == btMaxKeys {
+			t.splitChild(acc, n, i)
+			if key == t.key(acc, n, i) {
+				return
+			}
+			if key > t.key(acc, n, i) {
+				i++
+			}
+			c = t.child(acc, n, i)
+		}
+		n = c
+	}
+}
+
+// Depth returns the tree height (root = 1), for tests.
+func (t *BTree) Depth(acc Accessor) int {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	d := 1
+	for !btLeaf(acc.Load(word(n, 0))) {
+		n = t.child(acc, n, 0)
+		d++
+	}
+	return d
+}
+
+// Walk calls fn for every key in ascending order, for tests.
+func (t *BTree) Walk(acc Accessor, fn func(key mem.Word)) {
+	t.walk(acc, mem.Addr(acc.Load(t.rootPtr)), fn)
+}
+
+func (t *BTree) walk(acc Accessor, n mem.Addr, fn func(mem.Word)) {
+	meta := acc.Load(word(n, 0))
+	cnt := btN(meta)
+	leaf := btLeaf(meta)
+	for i := 0; i < cnt; i++ {
+		if !leaf {
+			t.walk(acc, t.child(acc, n, i), fn)
+		}
+		fn(t.key(acc, n, i))
+	}
+	if !leaf {
+		t.walk(acc, t.child(acc, n, cnt), fn)
+	}
+}

@@ -1,0 +1,192 @@
+package pmds
+
+import "silo/internal/mem"
+
+// Delete removes key from the B-tree, rebalancing by borrow/merge so every
+// non-root node keeps at least t-1 = 1 key (CLRS B-TREE-DELETE for minimum
+// degree t = 2). It reports whether the key was present. The descent
+// preemptively tops up any child it is about to enter, so no backtracking
+// is needed.
+func (t *BTree) Delete(acc Accessor, key mem.Word) bool {
+	root := mem.Addr(acc.Load(t.rootPtr))
+	found := t.deleteFrom(acc, root, key)
+	// A root left with zero keys and one child shrinks the tree.
+	meta := acc.Load(word(root, 0))
+	if btN(meta) == 0 && !btLeaf(meta) {
+		acc.Store(t.rootPtr, mem.Word(t.child(acc, root, 0)))
+		t.heap.FreeLines(t.arena, root, 1)
+	}
+	return found
+}
+
+func (t *BTree) setKey(acc Accessor, n mem.Addr, i int, k mem.Word) {
+	acc.Store(word(n, 1+i), k)
+}
+
+func (t *BTree) setChild(acc Accessor, n mem.Addr, i int, c mem.Addr) {
+	acc.Store(word(n, 4+i), mem.Word(c))
+}
+
+func (t *BTree) setCount(acc Accessor, n mem.Addr, count int) {
+	acc.Store(word(n, 0), btMeta(btLeaf(acc.Load(word(n, 0))), count))
+}
+
+// deleteFrom removes key from the subtree rooted at n; n always has at
+// least t keys on entry (except the root).
+func (t *BTree) deleteFrom(acc Accessor, n mem.Addr, key mem.Word) bool {
+	meta := acc.Load(word(n, 0))
+	cnt := btN(meta)
+	i := 0
+	for i < cnt && key > t.key(acc, n, i) {
+		i++
+	}
+	leaf := btLeaf(meta)
+
+	if i < cnt && key == t.key(acc, n, i) {
+		if leaf {
+			// Case 1: remove from a leaf.
+			for j := i; j < cnt-1; j++ {
+				t.setKey(acc, n, j, t.key(acc, n, j+1))
+			}
+			t.setCount(acc, n, cnt-1)
+			return true
+		}
+		// Case 2: key in an internal node.
+		y := t.child(acc, n, i)
+		z := t.child(acc, n, i+1)
+		switch {
+		case btN(acc.Load(word(y, 0))) >= 2:
+			// 2a: replace with the predecessor from the left child.
+			pred := t.maxKey(acc, y)
+			t.setKey(acc, n, i, pred)
+			t.deleteFrom(acc, y, pred)
+		case btN(acc.Load(word(z, 0))) >= 2:
+			// 2b: replace with the successor from the right child.
+			succ := t.minKey(acc, z)
+			t.setKey(acc, n, i, succ)
+			t.deleteFrom(acc, z, succ)
+		default:
+			// 2c: merge y, key, z and recurse into the merged node.
+			t.mergeChildren(acc, n, i)
+			t.deleteFrom(acc, y, key)
+		}
+		return true
+	}
+	if leaf {
+		return false // not present
+	}
+	// Case 3: descend into child i, topping it up to >= t keys first.
+	c := t.child(acc, n, i)
+	if btN(acc.Load(word(c, 0))) < 2 {
+		c = t.fixChild(acc, n, i)
+	}
+	return t.deleteFrom(acc, c, key)
+}
+
+// maxKey returns the largest key in the subtree at n.
+func (t *BTree) maxKey(acc Accessor, n mem.Addr) mem.Word {
+	for {
+		meta := acc.Load(word(n, 0))
+		cnt := btN(meta)
+		if btLeaf(meta) {
+			return t.key(acc, n, cnt-1)
+		}
+		n = t.child(acc, n, cnt)
+	}
+}
+
+// minKey returns the smallest key in the subtree at n.
+func (t *BTree) minKey(acc Accessor, n mem.Addr) mem.Word {
+	for {
+		meta := acc.Load(word(n, 0))
+		if btLeaf(meta) {
+			return t.key(acc, n, 0)
+		}
+		n = t.child(acc, n, 0)
+	}
+}
+
+// mergeChildren folds x.keys[i] and child i+1 into child i (both children
+// have exactly 1 key), leaving child i with 3 keys.
+func (t *BTree) mergeChildren(acc Accessor, x mem.Addr, i int) {
+	y := t.child(acc, x, i)
+	z := t.child(acc, x, i+1)
+	yMeta := acc.Load(word(y, 0))
+	yLeaf := btLeaf(yMeta)
+
+	t.setKey(acc, y, 1, t.key(acc, x, i))
+	t.setKey(acc, y, 2, t.key(acc, z, 0))
+	if !yLeaf {
+		t.setChild(acc, y, 2, t.child(acc, z, 0))
+		t.setChild(acc, y, 3, t.child(acc, z, 1))
+	}
+	acc.Store(word(y, 0), btMeta(yLeaf, 3))
+
+	t.heap.FreeLines(t.arena, z, 1) // z's contents moved into y
+
+	// Remove key i and child i+1 from x.
+	xCnt := btN(acc.Load(word(x, 0)))
+	for j := i; j < xCnt-1; j++ {
+		t.setKey(acc, x, j, t.key(acc, x, j+1))
+	}
+	for j := i + 1; j < xCnt; j++ {
+		t.setChild(acc, x, j, t.child(acc, x, j+1))
+	}
+	t.setCount(acc, x, xCnt-1)
+}
+
+// fixChild tops up x's 1-key child i by borrowing from a sibling or
+// merging, returning the node the descent should continue into.
+func (t *BTree) fixChild(acc Accessor, x mem.Addr, i int) mem.Addr {
+	c := t.child(acc, x, i)
+	cMeta := acc.Load(word(c, 0))
+	cLeaf := btLeaf(cMeta)
+	xCnt := btN(acc.Load(word(x, 0)))
+
+	if i > 0 {
+		left := t.child(acc, x, i-1)
+		if ln := btN(acc.Load(word(left, 0))); ln >= 2 {
+			// Borrow from the left sibling through x.
+			t.setKey(acc, c, 1, t.key(acc, c, 0))
+			if !cLeaf {
+				t.setChild(acc, c, 2, t.child(acc, c, 1))
+				t.setChild(acc, c, 1, t.child(acc, c, 0))
+				t.setChild(acc, c, 0, t.child(acc, left, ln))
+			}
+			t.setKey(acc, c, 0, t.key(acc, x, i-1))
+			acc.Store(word(c, 0), btMeta(cLeaf, 2))
+			t.setKey(acc, x, i-1, t.key(acc, left, ln-1))
+			t.setCount(acc, left, ln-1)
+			return c
+		}
+	}
+	if i < xCnt {
+		right := t.child(acc, x, i+1)
+		if rn := btN(acc.Load(word(right, 0))); rn >= 2 {
+			// Borrow from the right sibling through x.
+			t.setKey(acc, c, 1, t.key(acc, x, i))
+			if !cLeaf {
+				t.setChild(acc, c, 2, t.child(acc, right, 0))
+			}
+			acc.Store(word(c, 0), btMeta(cLeaf, 2))
+			t.setKey(acc, x, i, t.key(acc, right, 0))
+			for j := 0; j < rn-1; j++ {
+				t.setKey(acc, right, j, t.key(acc, right, j+1))
+			}
+			if !cLeaf {
+				for j := 0; j <= rn-1; j++ {
+					t.setChild(acc, right, j, t.child(acc, right, j+1))
+				}
+			}
+			t.setCount(acc, right, rn-1)
+			return c
+		}
+	}
+	// Merge with a sibling (both have 1 key).
+	if i < xCnt {
+		t.mergeChildren(acc, x, i)
+		return c
+	}
+	t.mergeChildren(acc, x, i-1)
+	return t.child(acc, x, i-1)
+}

@@ -1,0 +1,128 @@
+package pmds
+
+import (
+	"math/bits"
+
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// CritBitTrie is the Ctrie workload from PMDK (Fig. 4): a crit-bit tree
+// over 64-bit keys. Internal nodes hold the critical bit index and two
+// children; leaves hold key and value. Child pointers tag leaves with
+// their low bit (all allocations are 8-byte aligned, so bit 0 is free).
+//
+// Internal node: w0 = crit-bit index, w1 = left (bit 0), w2 = right.
+// Leaf: w0 = key, w1 = value.
+type CritBitTrie struct {
+	rootPtr mem.Addr
+	heap    *pmheap.Heap
+	arena   int
+}
+
+const cbLeafTag mem.Word = 1
+
+// NewCritBitTrie allocates an empty trie.
+func NewCritBitTrie(acc Accessor, heap *pmheap.Heap, arena int) *CritBitTrie {
+	t := &CritBitTrie{rootPtr: heap.Alloc(arena, mem.WordSize, mem.WordSize), heap: heap, arena: arena}
+	acc.Store(t.rootPtr, 0)
+	return t
+}
+
+func (t *CritBitTrie) newLeaf(acc Accessor, key, val mem.Word) mem.Word {
+	n := t.heap.Alloc(t.arena, 2*mem.WordSize, mem.WordSize)
+	acc.Store(word(n, 0), key)
+	acc.Store(word(n, 1), val)
+	return mem.Word(n) | cbLeafTag
+}
+
+func isLeaf(p mem.Word) bool       { return p&cbLeafTag != 0 }
+func nodeAddr(p mem.Word) mem.Addr { return mem.Addr(p &^ cbLeafTag) }
+
+// critBit returns the index (63 = MSB) of the highest bit where a and b
+// differ; a must differ from b.
+func critBit(a, b mem.Word) int {
+	return 63 - bits.LeadingZeros64(uint64(a^b))
+}
+
+func bitOf(key mem.Word, idx int) int {
+	return int(key>>uint(idx)) & 1
+}
+
+// Get returns the value stored for key.
+func (t *CritBitTrie) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	p := acc.Load(t.rootPtr)
+	if p == 0 {
+		return 0, false
+	}
+	for !isLeaf(p) {
+		n := nodeAddr(p)
+		cb := int(acc.Load(word(n, 0)))
+		if bitOf(key, cb) == 0 {
+			p = acc.Load(word(n, 1))
+		} else {
+			p = acc.Load(word(n, 2))
+		}
+	}
+	l := nodeAddr(p)
+	if acc.Load(word(l, 0)) == key {
+		return acc.Load(word(l, 1)), true
+	}
+	return 0, false
+}
+
+// Insert maps key → val.
+func (t *CritBitTrie) Insert(acc Accessor, key, val mem.Word) {
+	p := acc.Load(t.rootPtr)
+	if p == 0 {
+		acc.Store(t.rootPtr, t.newLeaf(acc, key, val))
+		return
+	}
+	// Walk to the closest leaf.
+	q := p
+	for !isLeaf(q) {
+		n := nodeAddr(q)
+		cb := int(acc.Load(word(n, 0)))
+		if bitOf(key, cb) == 0 {
+			q = acc.Load(word(n, 1))
+		} else {
+			q = acc.Load(word(n, 2))
+		}
+	}
+	leafKey := acc.Load(word(nodeAddr(q), 0))
+	if leafKey == key {
+		acc.Store(word(nodeAddr(q), 1), val)
+		return
+	}
+	newBit := critBit(key, leafKey)
+
+	// Re-walk from the root to the insertion point: the first edge whose
+	// node tests a bit lower than newBit (or a leaf).
+	slot := t.rootPtr
+	p = acc.Load(slot)
+	for !isLeaf(p) {
+		n := nodeAddr(p)
+		cb := int(acc.Load(word(n, 0)))
+		if cb < newBit {
+			break
+		}
+		if bitOf(key, cb) == 0 {
+			slot = word(n, 1)
+		} else {
+			slot = word(n, 2)
+		}
+		p = acc.Load(slot)
+	}
+
+	in := t.heap.Alloc(t.arena, 3*mem.WordSize, mem.WordSize)
+	acc.Store(word(in, 0), mem.Word(newBit))
+	leaf := t.newLeaf(acc, key, val)
+	if bitOf(key, newBit) == 0 {
+		acc.Store(word(in, 1), leaf)
+		acc.Store(word(in, 2), p)
+	} else {
+		acc.Store(word(in, 1), p)
+		acc.Store(word(in, 2), leaf)
+	}
+	acc.Store(slot, mem.Word(in))
+}

@@ -1,0 +1,247 @@
+package pmds
+
+import "silo/internal/mem"
+
+// This file adds deletion to the persistent structures. The paper's
+// benchmarks only insert (Table III), but a structure library without
+// delete is not adoptable; the mixed workloads built on these paths also
+// widen the crash-recovery test surface.
+
+// Delete removes key from the hash table using tombstones (open
+// addressing cannot simply clear a slot without breaking probe chains).
+// It reports whether the key was present.
+func (h *HashTable) Delete(acc Accessor, key mem.Word) bool {
+	i := mix64(uint64(key))
+	for probe := uint64(0); probe <= h.mask; probe++ {
+		k := acc.Load(h.bucket(i+probe, 0))
+		if k == 0 {
+			return false
+		}
+		if k != key {
+			continue
+		}
+		acc.Store(h.bucket(i+probe, 0), hashTombstone)
+		return true
+	}
+	return false
+}
+
+// hashTombstone marks a deleted bucket: probes continue past it, inserts
+// may reuse it.
+const hashTombstone mem.Word = ^mem.Word(0)
+
+// Delete removes key from the radix tree by clearing the value slot
+// (interior nodes are retained — the PMDK Rtree likewise defers interior
+// reclamation). It reports whether the key was present.
+func (t *RadixTree) Delete(acc Accessor, key mem.Word) bool {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	for level := 0; level < t.levels-1; level++ {
+		c := mem.Addr(acc.Load(word(n, t.digit(key, level))))
+		if c == 0 {
+			return false
+		}
+		n = c
+	}
+	slot := word(n, t.digit(key, t.levels-1))
+	if acc.Load(slot)&radixPresent == 0 {
+		return false
+	}
+	acc.Store(slot, 0)
+	return true
+}
+
+// Delete removes key from the crit-bit trie, collapsing the internal node
+// that pointed at the removed leaf. It reports whether the key was present.
+func (t *CritBitTrie) Delete(acc Accessor, key mem.Word) bool {
+	p := acc.Load(t.rootPtr)
+	if p == 0 {
+		return false
+	}
+	if isLeaf(p) {
+		if acc.Load(word(nodeAddr(p), 0)) != key {
+			return false
+		}
+		acc.Store(t.rootPtr, 0)
+		t.heap.Free(t.arena, nodeAddr(p), 2*mem.WordSize, mem.WordSize)
+		return true
+	}
+	// Walk remembering the grandparent slot and the parent node.
+	gpSlot := t.rootPtr
+	parent := nodeAddr(p)
+	var sideSlot, otherSlot mem.Addr
+	for {
+		cb := int(acc.Load(word(parent, 0)))
+		if bitOf(key, cb) == 0 {
+			sideSlot, otherSlot = word(parent, 1), word(parent, 2)
+		} else {
+			sideSlot, otherSlot = word(parent, 2), word(parent, 1)
+		}
+		q := acc.Load(sideSlot)
+		if isLeaf(q) {
+			if acc.Load(word(nodeAddr(q), 0)) != key {
+				return false
+			}
+			// Replace the parent with the surviving sibling subtree; both
+			// the removed leaf and the collapsed internal node are dead.
+			acc.Store(gpSlot, acc.Load(otherSlot))
+			t.heap.Free(t.arena, nodeAddr(q), 2*mem.WordSize, mem.WordSize)
+			t.heap.Free(t.arena, parent, 3*mem.WordSize, mem.WordSize)
+			return true
+		}
+		gpSlot = sideSlot
+		parent = nodeAddr(q)
+	}
+}
+
+// Delete removes key from the red-black tree, rebalancing as needed. It
+// reports whether the key was present. The implementation is the classic
+// CLRS RB-DELETE adapted to a 0-as-nil encoding: the fixup tracks the
+// "current" node's parent explicitly because nil carries no parent field.
+func (t *RBTree) Delete(acc Accessor, key mem.Word) bool {
+	z := t.root(acc)
+	for z != 0 {
+		k := t.get(acc, z, rbKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = mem.Addr(t.get(acc, z, rbLeft))
+		} else {
+			z = mem.Addr(t.get(acc, z, rbRight))
+		}
+	}
+	if z == 0 {
+		return false
+	}
+
+	y := z
+	yColor := t.get(acc, y, rbColor)
+	var x, xParent mem.Addr
+	switch {
+	case t.get(acc, z, rbLeft) == 0:
+		x = mem.Addr(t.get(acc, z, rbRight))
+		xParent = mem.Addr(t.get(acc, z, rbParent))
+		t.transplant(acc, z, x)
+	case t.get(acc, z, rbRight) == 0:
+		x = mem.Addr(t.get(acc, z, rbLeft))
+		xParent = mem.Addr(t.get(acc, z, rbParent))
+		t.transplant(acc, z, x)
+	default:
+		// y = minimum of z's right subtree replaces z.
+		y = mem.Addr(t.get(acc, z, rbRight))
+		for l := mem.Addr(t.get(acc, y, rbLeft)); l != 0; l = mem.Addr(t.get(acc, y, rbLeft)) {
+			y = l
+		}
+		yColor = t.get(acc, y, rbColor)
+		x = mem.Addr(t.get(acc, y, rbRight))
+		if mem.Addr(t.get(acc, y, rbParent)) == z {
+			xParent = y
+		} else {
+			xParent = mem.Addr(t.get(acc, y, rbParent))
+			t.transplant(acc, y, x)
+			r := mem.Addr(t.get(acc, z, rbRight))
+			t.set(acc, y, rbRight, mem.Word(r))
+			t.set(acc, r, rbParent, mem.Word(y))
+		}
+		t.transplant(acc, z, y)
+		l := mem.Addr(t.get(acc, z, rbLeft))
+		t.set(acc, y, rbLeft, mem.Word(l))
+		if l != 0 {
+			t.set(acc, l, rbParent, mem.Word(y))
+		}
+		t.set(acc, y, rbColor, t.get(acc, z, rbColor))
+	}
+	if yColor != rbRed {
+		t.deleteFixup(acc, x, xParent)
+	}
+	t.heap.FreeLines(t.arena, z, 1) // z is fully unlinked in every case
+	return true
+}
+
+// transplant replaces subtree u with subtree v in u's parent.
+func (t *RBTree) transplant(acc Accessor, u, v mem.Addr) {
+	p := mem.Addr(t.get(acc, u, rbParent))
+	switch {
+	case p == 0:
+		acc.Store(t.rootPtr, mem.Word(v))
+	case u == mem.Addr(t.get(acc, p, rbLeft)):
+		t.set(acc, p, rbLeft, mem.Word(v))
+	default:
+		t.set(acc, p, rbRight, mem.Word(v))
+	}
+	if v != 0 {
+		t.set(acc, v, rbParent, mem.Word(p))
+	}
+}
+
+// deleteFixup restores the red-black properties after removing a black
+// node; x may be 0 (nil is black), so its parent travels alongside.
+func (t *RBTree) deleteFixup(acc Accessor, x, xParent mem.Addr) {
+	for x != mem.Addr(acc.Load(t.rootPtr)) && t.get(acc, x, rbColor) != rbRed {
+		if xParent == 0 {
+			break
+		}
+		if x == mem.Addr(t.get(acc, xParent, rbLeft)) {
+			w := mem.Addr(t.get(acc, xParent, rbRight))
+			if t.get(acc, w, rbColor) == rbRed {
+				t.set(acc, w, rbColor, 0)
+				t.set(acc, xParent, rbColor, rbRed)
+				t.rotateLeft(acc, xParent)
+				w = mem.Addr(t.get(acc, xParent, rbRight))
+			}
+			wl := mem.Addr(t.get(acc, w, rbLeft))
+			wr := mem.Addr(t.get(acc, w, rbRight))
+			if t.get(acc, wl, rbColor) != rbRed && t.get(acc, wr, rbColor) != rbRed {
+				t.set(acc, w, rbColor, rbRed)
+				x = xParent
+				xParent = mem.Addr(t.get(acc, x, rbParent))
+				continue
+			}
+			if t.get(acc, wr, rbColor) != rbRed {
+				t.set(acc, wl, rbColor, 0)
+				t.set(acc, w, rbColor, rbRed)
+				t.rotateRight(acc, w)
+				w = mem.Addr(t.get(acc, xParent, rbRight))
+				wr = mem.Addr(t.get(acc, w, rbRight))
+			}
+			t.set(acc, w, rbColor, t.get(acc, xParent, rbColor))
+			t.set(acc, xParent, rbColor, 0)
+			t.set(acc, wr, rbColor, 0)
+			t.rotateLeft(acc, xParent)
+			x = mem.Addr(acc.Load(t.rootPtr))
+			xParent = 0
+		} else {
+			w := mem.Addr(t.get(acc, xParent, rbLeft))
+			if t.get(acc, w, rbColor) == rbRed {
+				t.set(acc, w, rbColor, 0)
+				t.set(acc, xParent, rbColor, rbRed)
+				t.rotateRight(acc, xParent)
+				w = mem.Addr(t.get(acc, xParent, rbLeft))
+			}
+			wl := mem.Addr(t.get(acc, w, rbLeft))
+			wr := mem.Addr(t.get(acc, w, rbRight))
+			if t.get(acc, wl, rbColor) != rbRed && t.get(acc, wr, rbColor) != rbRed {
+				t.set(acc, w, rbColor, rbRed)
+				x = xParent
+				xParent = mem.Addr(t.get(acc, x, rbParent))
+				continue
+			}
+			if t.get(acc, wl, rbColor) != rbRed {
+				t.set(acc, wr, rbColor, 0)
+				t.set(acc, w, rbColor, rbRed)
+				t.rotateLeft(acc, w)
+				w = mem.Addr(t.get(acc, xParent, rbLeft))
+				wl = mem.Addr(t.get(acc, w, rbLeft))
+			}
+			t.set(acc, w, rbColor, t.get(acc, xParent, rbColor))
+			t.set(acc, xParent, rbColor, 0)
+			t.set(acc, wl, rbColor, 0)
+			t.rotateRight(acc, xParent)
+			x = mem.Addr(acc.Load(t.rootPtr))
+			xParent = 0
+		}
+	}
+	if x != 0 {
+		t.set(acc, x, rbColor, 0)
+	}
+}

@@ -1,0 +1,334 @@
+package pmds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silo/internal/mem"
+)
+
+// --- HashTable.Delete ---
+
+func TestHashDeleteBasic(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 64)
+	h.Put(acc, 42, 1)
+	if !h.Delete(acc, 42) {
+		t.Fatal("delete of present key failed")
+	}
+	if _, ok := h.Get(acc, 42); ok {
+		t.Error("key readable after delete")
+	}
+	if h.Delete(acc, 42) {
+		t.Error("double delete succeeded")
+	}
+	if h.Delete(acc, 999) {
+		t.Error("delete of absent key succeeded")
+	}
+}
+
+func TestHashDeletePreservesProbeChains(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 8)
+	// Force a probe chain: insert several keys into a tiny table, delete
+	// one in the middle, the rest must remain reachable.
+	keys := []mem.Word{11, 22, 33, 44, 55}
+	for _, k := range keys {
+		if !h.Put(acc, k, k) {
+			t.Fatalf("put %d", k)
+		}
+	}
+	h.Delete(acc, keys[2])
+	for _, k := range []mem.Word{11, 22, 44, 55} {
+		if _, ok := h.Get(acc, k); !ok {
+			t.Errorf("key %d lost after unrelated delete", k)
+		}
+	}
+	// The tombstone is reusable.
+	if !h.Put(acc, 66, 6) {
+		t.Error("tombstone slot not reusable")
+	}
+	if _, ok := h.Get(acc, 66); !ok {
+		t.Error("reinserted key missing")
+	}
+}
+
+func TestHashChurnAgainstModel(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 256)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 8000; i++ {
+		k := mem.Word(rng.Intn(300)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if h.Put(acc, k, mem.Word(i)) {
+				model[k] = mem.Word(i)
+			}
+		case 1:
+			if got := h.Delete(acc, k); got != (model[k] != 0 || hasKey(model, k)) {
+				t.Fatalf("op %d: delete(%d) = %v, model disagrees", i, k, got)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := h.Get(acc, k)
+			want, wok := model[k]
+			if ok != wok || (ok && v != want+1) {
+				t.Fatalf("op %d: get(%d) = %d/%v, model %d/%v", i, k, v, ok, want, wok)
+			}
+		}
+	}
+}
+
+func hasKey(m map[mem.Word]mem.Word, k mem.Word) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// --- RadixTree.Delete ---
+
+func TestRadixDelete(t *testing.T) {
+	acc := newAcc()
+	rt := NewRadixTree(acc, newHeap(), 0, 16)
+	rt.Insert(acc, 100, 1)
+	rt.Insert(acc, 200, 2)
+	if !rt.Delete(acc, 100) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := rt.Get(acc, 100); ok {
+		t.Error("key readable after delete")
+	}
+	if v, ok := rt.Get(acc, 200); !ok || v != 2 {
+		t.Error("sibling key lost")
+	}
+	if rt.Delete(acc, 100) || rt.Delete(acc, 12345) {
+		t.Error("delete of absent key succeeded")
+	}
+	rt.Insert(acc, 100, 9) // reinsert over the cleared slot
+	if v, _ := rt.Get(acc, 100); v != 9 {
+		t.Error("reinsert failed")
+	}
+}
+
+// --- CritBitTrie.Delete ---
+
+func TestCritBitDelete(t *testing.T) {
+	acc := newAcc()
+	cb := NewCritBitTrie(acc, newHeap(), 0)
+	if cb.Delete(acc, 1) {
+		t.Error("delete from empty trie succeeded")
+	}
+	cb.Insert(acc, 5, 50)
+	if !cb.Delete(acc, 5) {
+		t.Fatal("single-leaf delete failed")
+	}
+	if _, ok := cb.Get(acc, 5); ok {
+		t.Error("key survived delete")
+	}
+	// Rebuild and delete interior leaves.
+	keys := []mem.Word{1, 2, 3, 8, 16, 5, 7}
+	for _, k := range keys {
+		cb.Insert(acc, k, k*10)
+	}
+	if !cb.Delete(acc, 3) || !cb.Delete(acc, 16) {
+		t.Fatal("delete failed")
+	}
+	for _, k := range []mem.Word{1, 2, 8, 5, 7} {
+		if v, ok := cb.Get(acc, k); !ok || v != k*10 {
+			t.Errorf("key %d lost after deletes", k)
+		}
+	}
+	for _, k := range []mem.Word{3, 16} {
+		if _, ok := cb.Get(acc, k); ok {
+			t.Errorf("deleted key %d still present", k)
+		}
+	}
+}
+
+func TestCritBitChurnAgainstModel(t *testing.T) {
+	acc := newAcc()
+	cb := NewCritBitTrie(acc, newHeap(), 0)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 6000; i++ {
+		k := mem.Word(rng.Intn(200)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			cb.Insert(acc, k, mem.Word(i))
+			model[k] = mem.Word(i)
+		case 1:
+			got := cb.Delete(acc, k)
+			if got != hasKey(model, k) {
+				t.Fatalf("op %d: delete(%d) = %v", i, k, got)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := cb.Get(acc, k)
+			want, wok := model[k]
+			if ok != wok || (ok && v != want) {
+				t.Fatalf("op %d: get(%d) = %d/%v want %d/%v", i, k, v, ok, want, wok)
+			}
+		}
+	}
+}
+
+// --- RBTree.Delete ---
+
+func TestRBTreeDeleteBasic(t *testing.T) {
+	acc := newAcc()
+	rb := NewRBTree(acc, newHeap(), 0)
+	for _, k := range []mem.Word{10, 5, 15, 3, 8, 12, 20} {
+		rb.Insert(acc, k, k)
+	}
+	if rb.Delete(acc, 999) {
+		t.Error("delete of absent key succeeded")
+	}
+	for _, k := range []mem.Word{5, 10, 20, 3, 15, 8, 12} {
+		if !rb.Delete(acc, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		if _, ok := rb.Get(acc, k); ok {
+			t.Fatalf("key %d survived delete", k)
+		}
+		if _, err := rb.CheckInvariants(acc); err != "" {
+			t.Fatalf("after deleting %d: %s", k, err)
+		}
+	}
+	if rb.root(acc) != 0 {
+		t.Error("tree not empty after deleting everything")
+	}
+}
+
+func TestRBTreeChurnInvariants(t *testing.T) {
+	acc := newAcc()
+	rb := NewRBTree(acc, newHeap(), 0)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 6000; i++ {
+		k := mem.Word(rng.Intn(400)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			rb.Insert(acc, k, mem.Word(i))
+			model[k] = mem.Word(i)
+		case 1:
+			got := rb.Delete(acc, k)
+			if got != hasKey(model, k) {
+				t.Fatalf("op %d: delete(%d) = %v, model %v", i, k, got, hasKey(model, k))
+			}
+			delete(model, k)
+		case 2:
+			v, ok := rb.Get(acc, k)
+			want, wok := model[k]
+			if ok != wok || (ok && v != want) {
+				t.Fatalf("op %d: get(%d) mismatch", i, k)
+			}
+		}
+		if i%211 == 0 {
+			if _, err := rb.CheckInvariants(acc); err != "" {
+				t.Fatalf("op %d: %s", i, err)
+			}
+		}
+	}
+	if _, err := rb.CheckInvariants(acc); err != "" {
+		t.Fatal(err)
+	}
+	for k, want := range model {
+		if v, ok := rb.Get(acc, k); !ok || v != want {
+			t.Fatalf("final state: key %d = %d/%v want %d", k, v, ok, want)
+		}
+	}
+}
+
+// --- BTree.Delete ---
+
+func TestBTreeDeleteBasic(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	keys := []mem.Word{50, 30, 70, 10, 40, 60, 80, 20, 90, 35, 45, 55, 65}
+	for _, k := range keys {
+		bt.Insert(acc, k)
+	}
+	if bt.Delete(acc, 999) {
+		t.Error("delete of absent key succeeded")
+	}
+	for _, k := range keys {
+		if !bt.Delete(acc, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		if bt.Contains(acc, k) {
+			t.Fatalf("key %d survived delete", k)
+		}
+	}
+	n := 0
+	bt.Walk(acc, func(mem.Word) { n++ })
+	if n != 0 {
+		t.Errorf("%d keys remain after deleting everything", n)
+	}
+}
+
+func TestBTreeChurnAgainstModel(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	model := map[mem.Word]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8000; i++ {
+		k := mem.Word(rng.Intn(500)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			bt.Insert(acc, k)
+			model[k] = true
+		case 1:
+			got := bt.Delete(acc, k)
+			if got != model[k] {
+				t.Fatalf("op %d: delete(%d) = %v, model %v", i, k, got, model[k])
+			}
+			delete(model, k)
+		case 2:
+			if bt.Contains(acc, k) != model[k] {
+				t.Fatalf("op %d: contains(%d) mismatch", i, k)
+			}
+		}
+		if i%499 == 0 {
+			assertBTreeSorted(t, bt, acc, model)
+		}
+	}
+	assertBTreeSorted(t, bt, acc, model)
+}
+
+func assertBTreeSorted(t *testing.T, bt *BTree, acc Accessor, model map[mem.Word]bool) {
+	t.Helper()
+	var got []mem.Word
+	bt.Walk(acc, func(k mem.Word) { got = append(got, k) })
+	if len(got) != len(model) {
+		t.Fatalf("tree has %d keys, model %d", len(got), len(model))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("walk not sorted after deletes")
+	}
+	for _, k := range got {
+		if !model[k] {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestBTreeDeleteShrinksRoot(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	for i := 1; i <= 64; i++ {
+		bt.Insert(acc, mem.Word(i))
+	}
+	deep := bt.Depth(acc)
+	for i := 1; i <= 60; i++ {
+		bt.Delete(acc, mem.Word(i))
+	}
+	if d := bt.Depth(acc); d >= deep {
+		t.Errorf("depth %d did not shrink from %d after mass deletion", d, deep)
+	}
+	for i := 61; i <= 64; i++ {
+		if !bt.Contains(acc, mem.Word(i)) {
+			t.Errorf("survivor %d missing", i)
+		}
+	}
+}

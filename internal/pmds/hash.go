@@ -1,0 +1,116 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// HashTable is the Hash micro-benchmark structure (and the YCSB store): an
+// open-addressing hash table of 64 B buckets. Bucket layout: word0 = key
+// (0 = empty), words1..7 = value payload. Random keys give the scattered
+// write pattern that makes Hash the largest post-reduction write set in
+// Fig. 13.
+type HashTable struct {
+	base mem.Addr
+	mask uint64 // buckets-1; buckets is a power of two
+}
+
+// HashValueWords is the number of payload words per bucket.
+const HashValueWords = mem.WordsPerLine - 1
+
+// NewHashTable allocates a table with the given power-of-two bucket count.
+func NewHashTable(heap *pmheap.Heap, arena, buckets int) *HashTable {
+	if buckets&(buckets-1) != 0 || buckets == 0 {
+		panic("pmds: bucket count must be a power of two")
+	}
+	return &HashTable{base: heap.AllocLines(arena, buckets), mask: uint64(buckets - 1)}
+}
+
+func (h *HashTable) bucket(i uint64, w int) mem.Addr {
+	return word(h.base+mem.Addr((i&h.mask)*mem.LineSize), w)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Put inserts or updates key with a value derived from val, writing the
+// full bucket payload. Tombstones left by Delete are reused. It reports
+// false when the probe sequence finds no slot within the table (full).
+func (h *HashTable) Put(acc Accessor, key mem.Word, val mem.Word) bool {
+	if key == 0 || key == hashTombstone {
+		panic("pmds: key is reserved")
+	}
+	i := mix64(uint64(key))
+	target := uint64(0)
+	haveTarget := false
+	for probe := uint64(0); probe <= h.mask; probe++ {
+		k := acc.Load(h.bucket(i+probe, 0))
+		if k == key {
+			target, haveTarget = i+probe, true
+			break
+		}
+		if k == hashTombstone {
+			if !haveTarget {
+				target, haveTarget = i+probe, true
+			}
+			continue // the key may still live past this tombstone
+		}
+		if k == 0 {
+			if !haveTarget {
+				target, haveTarget = i+probe, true
+			}
+			break
+		}
+	}
+	if !haveTarget {
+		return false
+	}
+	if acc.Load(h.bucket(target, 0)) != key {
+		acc.Store(h.bucket(target, 0), key)
+	}
+	for w := 1; w < mem.WordsPerLine; w++ {
+		acc.Store(h.bucket(target, w), val+mem.Word(w))
+	}
+	return true
+}
+
+// UpdateValue overwrites only the payload of an existing key (the YCSB
+// update path); it reports whether the key was found.
+func (h *HashTable) UpdateValue(acc Accessor, key mem.Word, val mem.Word) bool {
+	i := mix64(uint64(key))
+	for probe := uint64(0); probe <= h.mask; probe++ {
+		k := acc.Load(h.bucket(i+probe, 0))
+		if k == 0 {
+			return false
+		}
+		if k != key {
+			continue
+		}
+		for w := 1; w < mem.WordsPerLine; w++ {
+			acc.Store(h.bucket(i+probe, w), val+mem.Word(w))
+		}
+		return true
+	}
+	return false
+}
+
+// Get returns the first payload word for key.
+func (h *HashTable) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	i := mix64(uint64(key))
+	for probe := uint64(0); probe <= h.mask; probe++ {
+		k := acc.Load(h.bucket(i+probe, 0))
+		if k == 0 {
+			return 0, false
+		}
+		if k == key {
+			return acc.Load(h.bucket(i+probe, 1)), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,159 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// LevelHash is the write-optimized persistent hash of Zuo et al.
+// (OSDI'18), which the paper's related work cites: two levels of
+// 4-slot buckets where each key hashes to two candidate top-level buckets;
+// every pair of top buckets shares one bottom bucket as overflow, and an
+// insert may move at most one existing item to its alternate location —
+// bounding the writes per insert, the property that matters on PM.
+//
+// Bucket layout: one 64 B cacheline, 4 slots × (key, value); key 0 means
+// empty.
+type LevelHash struct {
+	top    mem.Addr // topBuckets cachelines
+	bottom mem.Addr // topBuckets/2 cachelines
+	nTop   uint64
+}
+
+const lhSlots = 4
+
+// NewLevelHash allocates a table with topBuckets top-level buckets
+// (a power of two, >= 4).
+func NewLevelHash(heap *pmheap.Heap, arena, topBuckets int) *LevelHash {
+	if topBuckets < 4 || topBuckets&(topBuckets-1) != 0 {
+		panic("pmds: top bucket count must be a power of two >= 4")
+	}
+	return &LevelHash{
+		top:    heap.AllocLines(arena, topBuckets),
+		bottom: heap.AllocLines(arena, topBuckets/2),
+		nTop:   uint64(topBuckets),
+	}
+}
+
+func (h *LevelHash) slot(base mem.Addr, bucket uint64, s int) mem.Addr {
+	return base + mem.Addr(bucket*mem.LineSize) + mem.Addr(s*2*mem.WordSize)
+}
+
+// hash positions: two independent top-level candidates.
+func (h *LevelHash) pos(key mem.Word) (uint64, uint64) {
+	h1 := mix64(uint64(key)) % h.nTop
+	h2 := mix64(uint64(key)^0x9E3779B97F4A7C15) % h.nTop
+	if h2 == h1 {
+		h2 = (h1 + 1) % h.nTop
+	}
+	return h1, h2
+}
+
+// lookup scans one bucket for key, returning the slot address.
+func (h *LevelHash) lookup(acc Accessor, base mem.Addr, bucket uint64, key mem.Word) (mem.Addr, bool) {
+	for s := 0; s < lhSlots; s++ {
+		a := h.slot(base, bucket, s)
+		if acc.Load(a) == key {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the value for key.
+func (h *LevelHash) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	if key == 0 {
+		panic("pmds: key 0 is reserved")
+	}
+	b1, b2 := h.pos(key)
+	for _, c := range []struct {
+		base   mem.Addr
+		bucket uint64
+	}{{h.top, b1}, {h.top, b2}, {h.bottom, b1 / 2}, {h.bottom, b2 / 2}} {
+		if a, ok := h.lookup(acc, c.base, c.bucket, key); ok {
+			return acc.Load(a + mem.WordSize), true
+		}
+	}
+	return 0, false
+}
+
+// put tries to claim an empty slot in one bucket.
+func (h *LevelHash) put(acc Accessor, base mem.Addr, bucket uint64, key, val mem.Word) bool {
+	for s := 0; s < lhSlots; s++ {
+		a := h.slot(base, bucket, s)
+		if acc.Load(a) == 0 {
+			acc.Store(a+mem.WordSize, val)
+			acc.Store(a, key) // key last: slot becomes visible atomically
+			return true
+		}
+	}
+	return false
+}
+
+// Insert maps key → val. It tries, in order: update in place; an empty
+// slot in either top candidate; the shared bottom buckets; then a single
+// movement (relocate one resident of a top candidate to its alternate
+// bucket). It reports false when the table needs a resize (not modeled).
+func (h *LevelHash) Insert(acc Accessor, key, val mem.Word) bool {
+	if key == 0 {
+		panic("pmds: key 0 is reserved")
+	}
+	b1, b2 := h.pos(key)
+	// Update in place.
+	for _, c := range []struct {
+		base   mem.Addr
+		bucket uint64
+	}{{h.top, b1}, {h.top, b2}, {h.bottom, b1 / 2}, {h.bottom, b2 / 2}} {
+		if a, ok := h.lookup(acc, c.base, c.bucket, key); ok {
+			acc.Store(a+mem.WordSize, val)
+			return true
+		}
+	}
+	// Empty slots, cheapest first.
+	if h.put(acc, h.top, b1, key, val) || h.put(acc, h.top, b2, key, val) {
+		return true
+	}
+	if h.put(acc, h.bottom, b1/2, key, val) || h.put(acc, h.bottom, b2/2, key, val) {
+		return true
+	}
+	// One movement: evict a resident of a top candidate to its alternate
+	// top bucket if that has room.
+	for _, bucket := range []uint64{b1, b2} {
+		for s := 0; s < lhSlots; s++ {
+			a := h.slot(h.top, bucket, s)
+			rk := acc.Load(a)
+			r1, r2 := h.pos(rk)
+			alt := r1
+			if alt == bucket {
+				alt = r2
+			}
+			if alt == bucket {
+				continue
+			}
+			if h.put(acc, h.top, alt, rk, acc.Load(a+mem.WordSize)) {
+				acc.Store(a+mem.WordSize, val)
+				acc.Store(a, key)
+				return true
+			}
+		}
+	}
+	return false // caller would resize
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *LevelHash) Delete(acc Accessor, key mem.Word) bool {
+	if key == 0 {
+		panic("pmds: key 0 is reserved")
+	}
+	b1, b2 := h.pos(key)
+	for _, c := range []struct {
+		base   mem.Addr
+		bucket uint64
+	}{{h.top, b1}, {h.top, b2}, {h.bottom, b1 / 2}, {h.bottom, b2 / 2}} {
+		if a, ok := h.lookup(acc, c.base, c.bucket, key); ok {
+			acc.Store(a, 0) // clearing the key frees the slot atomically
+			return true
+		}
+	}
+	return false
+}

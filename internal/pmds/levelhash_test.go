@@ -1,0 +1,130 @@
+package pmds
+
+import (
+	"math/rand"
+	"testing"
+
+	"silo/internal/mem"
+)
+
+func TestLevelHashBasics(t *testing.T) {
+	acc := newAcc()
+	lh := NewLevelHash(newHeap(), 0, 64)
+	if _, ok := lh.Get(acc, 5); ok {
+		t.Error("empty table found a key")
+	}
+	if !lh.Insert(acc, 5, 50) {
+		t.Fatal("insert failed")
+	}
+	if v, ok := lh.Get(acc, 5); !ok || v != 50 {
+		t.Fatalf("get = %d/%v", v, ok)
+	}
+	if !lh.Insert(acc, 5, 51) { // update in place
+		t.Fatal("update failed")
+	}
+	if v, _ := lh.Get(acc, 5); v != 51 {
+		t.Error("update value wrong")
+	}
+	if !lh.Delete(acc, 5) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := lh.Get(acc, 5); ok {
+		t.Error("key survived delete")
+	}
+	if lh.Delete(acc, 5) {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestLevelHashRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two accepted")
+		}
+	}()
+	NewLevelHash(newHeap(), 0, 48)
+}
+
+func TestLevelHashZeroKeyPanics(t *testing.T) {
+	acc := newAcc()
+	lh := NewLevelHash(newHeap(), 0, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("key 0 accepted")
+		}
+	}()
+	lh.Insert(acc, 0, 1)
+}
+
+func TestLevelHashHighLoadWithMovement(t *testing.T) {
+	// 64 top + 32 bottom buckets × 4 slots = 384 slots. The single-movement
+	// scheme should comfortably place 60 % load.
+	acc := newAcc()
+	lh := NewLevelHash(newHeap(), 0, 64)
+	rng := rand.New(rand.NewSource(14))
+	inserted := map[mem.Word]mem.Word{}
+	for len(inserted) < 230 {
+		k := mem.Word(rng.Int63n(1<<40)) + 1
+		if _, dup := inserted[k]; dup {
+			continue
+		}
+		v := mem.Word(len(inserted))
+		if !lh.Insert(acc, k, v) {
+			t.Fatalf("insert failed at load %d/384", len(inserted))
+		}
+		inserted[k] = v
+	}
+	for k, v := range inserted {
+		got, ok := lh.Get(acc, k)
+		if !ok || got != v {
+			t.Fatalf("key %#x: %d/%v want %d", uint64(k), got, ok, v)
+		}
+	}
+}
+
+func TestLevelHashFullReturnsFalse(t *testing.T) {
+	acc := newAcc()
+	lh := NewLevelHash(newHeap(), 0, 4) // 4+2 buckets × 4 = 24 slots
+	rng := rand.New(rand.NewSource(15))
+	placed := 0
+	for i := 0; i < 200; i++ {
+		if lh.Insert(acc, mem.Word(rng.Int63n(1<<40))+1, 1) {
+			placed++
+		}
+	}
+	if placed >= 200 {
+		t.Error("tiny table never filled; resize path unreachable")
+	}
+	if placed < 12 {
+		t.Errorf("placed only %d of 24 slots before giving up", placed)
+	}
+}
+
+func TestLevelHashChurnAgainstModel(t *testing.T) {
+	acc := newAcc()
+	lh := NewLevelHash(newHeap(), 0, 128)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(16))
+	for i := 0; i < 12000; i++ {
+		k := mem.Word(rng.Intn(300)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if lh.Insert(acc, k, mem.Word(i)) {
+				model[k] = mem.Word(i)
+			}
+		case 1:
+			got := lh.Delete(acc, k)
+			_, want := model[k]
+			if got != want {
+				t.Fatalf("op %d: delete(%d) = %v, model %v", i, k, got, want)
+			}
+			delete(model, k)
+		case 2:
+			v, ok := lh.Get(acc, k)
+			want, wok := model[k]
+			if ok != wok || (ok && v != want) {
+				t.Fatalf("op %d: get(%d) = %d/%v, model %d/%v", i, k, v, ok, want, wok)
+			}
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package pmds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// mapAccessor is a plain in-memory accessor for structure tests.
+type mapAccessor struct {
+	words  map[mem.Addr]mem.Word
+	loads  int
+	stores int
+}
+
+func newAcc() *mapAccessor { return &mapAccessor{words: make(map[mem.Addr]mem.Word)} }
+
+func (a *mapAccessor) Load(addr mem.Addr) mem.Word {
+	a.loads++
+	return a.words[addr]
+}
+
+func (a *mapAccessor) Store(addr mem.Addr, v mem.Word) {
+	a.stores++
+	a.words[addr] = v
+}
+
+func newHeap() *pmheap.Heap { return pmheap.New(mem.DefaultLayout(), 2) }
+
+// --- Array ---
+
+func TestArraySwap(t *testing.T) {
+	acc := newAcc()
+	a := NewArray(acc, newHeap(), 0, 16)
+	if a.Len() != 16 {
+		t.Fatal("len")
+	}
+	if a.Get(acc, 3) != 4 || a.Get(acc, 7) != 8 {
+		t.Fatal("init payloads wrong")
+	}
+	a.Swap(acc, 3, 7)
+	if a.Get(acc, 3) != 8 || a.Get(acc, 7) != 4 {
+		t.Error("swap failed")
+	}
+	a.Swap(acc, 3, 7)
+	if a.Get(acc, 3) != 4 || a.Get(acc, 7) != 8 {
+		t.Error("swap not involutive")
+	}
+}
+
+func TestArraySwapSelf(t *testing.T) {
+	acc := newAcc()
+	a := NewArray(acc, newHeap(), 0, 4)
+	a.Swap(acc, 2, 2)
+	if a.Get(acc, 2) != 3 {
+		t.Error("self-swap corrupted element")
+	}
+}
+
+func TestArraySparsePayload(t *testing.T) {
+	// Most words of an element are zero, so a swap's stores mostly write
+	// unchanged values — the basis of the Fig. 13 Array ignorance rate.
+	acc := newAcc()
+	a := NewArray(acc, newHeap(), 0, 8)
+	acc.stores = 0
+	a.Swap(acc, 0, 1)
+	if acc.stores != 2*ElemWords {
+		t.Fatalf("swap stores = %d, want %d", acc.stores, 2*ElemWords)
+	}
+}
+
+// --- Queue ---
+
+func TestQueueFIFO(t *testing.T) {
+	acc := newAcc()
+	q := NewQueue(acc, newHeap(), 0, 8)
+	for i := 1; i <= 5; i++ {
+		if !q.Enqueue(acc, mem.Word(i)) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.Len(acc) != 5 {
+		t.Fatalf("len = %d", q.Len(acc))
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := q.Dequeue(acc)
+		if !ok || v != mem.Word(i) {
+			t.Fatalf("dequeue %d: got %d/%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(acc); ok {
+		t.Error("dequeue from empty queue succeeded")
+	}
+}
+
+func TestQueueFullAndWraparound(t *testing.T) {
+	acc := newAcc()
+	q := NewQueue(acc, newHeap(), 0, 4)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(acc, mem.Word(i))
+	}
+	if q.Enqueue(acc, 99) {
+		t.Error("enqueue into full queue succeeded")
+	}
+	// Drain two, add two: ring indices wrap.
+	q.Dequeue(acc)
+	q.Dequeue(acc)
+	q.Enqueue(acc, 100)
+	q.Enqueue(acc, 101)
+	want := []mem.Word{2, 3, 100, 101}
+	for _, w := range want {
+		if v, _ := q.Dequeue(acc); v != w {
+			t.Fatalf("wraparound order: got %d want %d", v, w)
+		}
+	}
+}
+
+func TestQueueRandomAgainstModel(t *testing.T) {
+	acc := newAcc()
+	q := NewQueue(acc, newHeap(), 0, 32)
+	var model []mem.Word
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 {
+			v := mem.Word(rng.Int63())
+			if q.Enqueue(acc, v) {
+				model = append(model, v)
+			} else if len(model) < 32 {
+				t.Fatal("enqueue failed while model not full")
+			}
+		} else {
+			v, ok := q.Dequeue(acc)
+			if ok != (len(model) > 0) {
+				t.Fatal("dequeue availability mismatch")
+			}
+			if ok {
+				if v != model[0] {
+					t.Fatalf("dequeue = %d, model %d", v, model[0])
+				}
+				model = model[1:]
+			}
+		}
+	}
+}
+
+// --- HashTable ---
+
+func TestHashPutGetUpdate(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 64)
+	if !h.Put(acc, 42, 100) {
+		t.Fatal("put failed")
+	}
+	v, ok := h.Get(acc, 42)
+	if !ok || v != 101 { // payload word 1 = val+1
+		t.Fatalf("get = %d/%v", v, ok)
+	}
+	if !h.UpdateValue(acc, 42, 200) {
+		t.Fatal("update failed")
+	}
+	if v, _ := h.Get(acc, 42); v != 201 {
+		t.Errorf("after update: %d", v)
+	}
+	if _, ok := h.Get(acc, 999); ok {
+		t.Error("found missing key")
+	}
+	if h.UpdateValue(acc, 999, 1) {
+		t.Error("updated missing key")
+	}
+}
+
+func TestHashCollisionsProbe(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 16)
+	keys := []mem.Word{}
+	for i := 1; i <= 12; i++ { // 75% load: collisions guaranteed
+		k := mem.Word(i * 977)
+		if !h.Put(acc, k, mem.Word(i)) {
+			t.Fatalf("put %d failed", i)
+		}
+		keys = append(keys, k)
+	}
+	for i, k := range keys {
+		if v, ok := h.Get(acc, k); !ok || v != mem.Word(i+1)+1 {
+			t.Fatalf("key %d: %d/%v", k, v, ok)
+		}
+	}
+}
+
+func TestHashFull(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 4)
+	for i := 1; i <= 4; i++ {
+		h.Put(acc, mem.Word(i), 0)
+	}
+	if h.Put(acc, 1000, 0) {
+		t.Error("put into full table succeeded")
+	}
+}
+
+func TestHashRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two bucket count accepted")
+		}
+	}()
+	NewHashTable(newHeap(), 0, 100)
+}
+
+func TestHashZeroKeyPanics(t *testing.T) {
+	acc := newAcc()
+	h := NewHashTable(newHeap(), 0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("key 0 accepted")
+		}
+	}()
+	h.Put(acc, 0, 1)
+}
+
+// --- BTree ---
+
+func TestBTreeInsertContains(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	keys := []mem.Word{50, 30, 70, 10, 40, 60, 80, 20, 90, 35, 45, 55}
+	for _, k := range keys {
+		bt.Insert(acc, k)
+	}
+	for _, k := range keys {
+		if !bt.Contains(acc, k) {
+			t.Errorf("key %d missing", k)
+		}
+	}
+	for _, k := range []mem.Word{1, 33, 100} {
+		if bt.Contains(acc, k) {
+			t.Errorf("phantom key %d", k)
+		}
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	for i := 0; i < 10; i++ {
+		bt.Insert(acc, 5)
+	}
+	n := 0
+	bt.Walk(acc, func(mem.Word) { n++ })
+	if n != 1 {
+		t.Errorf("duplicate inserts produced %d keys", n)
+	}
+}
+
+func TestBTreeSortedWalkRandom(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	rng := rand.New(rand.NewSource(3))
+	seen := map[mem.Word]bool{}
+	for i := 0; i < 3000; i++ {
+		k := mem.Word(rng.Intn(10000)) + 1
+		bt.Insert(acc, k)
+		seen[k] = true
+	}
+	var got []mem.Word
+	bt.Walk(acc, func(k mem.Word) { got = append(got, k) })
+	if len(got) != len(seen) {
+		t.Fatalf("walk found %d keys, inserted %d distinct", len(got), len(seen))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("walk not sorted")
+	}
+	for _, k := range got {
+		if !seen[k] {
+			t.Fatalf("walk invented key %d", k)
+		}
+	}
+}
+
+func TestBTreeBalancedDepth(t *testing.T) {
+	acc := newAcc()
+	bt := NewBTree(acc, newHeap(), 0)
+	for i := 1; i <= 4096; i++ { // sequential worst case for naive BSTs
+		bt.Insert(acc, mem.Word(i))
+	}
+	d := bt.Depth(acc)
+	// A 2-3-4 tree with n keys has depth <= log2(n+1).
+	if d > 12 {
+		t.Errorf("depth %d too large for 4096 keys", d)
+	}
+	if !bt.Contains(acc, 1) || !bt.Contains(acc, 4096) {
+		t.Error("lost boundary keys")
+	}
+}
+
+// --- RBTree ---
+
+func TestRBTreeInsertGet(t *testing.T) {
+	acc := newAcc()
+	rb := NewRBTree(acc, newHeap(), 0)
+	keys := []mem.Word{10, 5, 15, 3, 8, 12, 20, 1, 4}
+	for _, k := range keys {
+		rb.Insert(acc, k, k*2)
+	}
+	for _, k := range keys {
+		v, ok := rb.Get(acc, k)
+		if !ok || v != k*2 {
+			t.Errorf("key %d: %d/%v", k, v, ok)
+		}
+	}
+	if _, ok := rb.Get(acc, 999); ok {
+		t.Error("phantom key")
+	}
+	rb.Insert(acc, 10, 77) // update
+	if v, _ := rb.Get(acc, 10); v != 77 {
+		t.Error("update failed")
+	}
+}
+
+func TestRBTreeInvariantsRandom(t *testing.T) {
+	acc := newAcc()
+	rb := NewRBTree(acc, newHeap(), 0)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		k := mem.Word(rng.Intn(5000)) + 1
+		rb.Insert(acc, k, k)
+		if i%97 == 0 {
+			if _, err := rb.CheckInvariants(acc); err != "" {
+				t.Fatalf("after %d inserts: %s", i+1, err)
+			}
+		}
+	}
+	bh, err := rb.CheckInvariants(acc)
+	if err != "" {
+		t.Fatal(err)
+	}
+	if bh < 5 {
+		t.Errorf("black height %d suspiciously small for ~2000 keys", bh)
+	}
+}
+
+func TestRBTreeInvariantsSequential(t *testing.T) {
+	acc := newAcc()
+	rb := NewRBTree(acc, newHeap(), 0)
+	for i := 1; i <= 1000; i++ {
+		rb.Insert(acc, mem.Word(i), mem.Word(i))
+	}
+	if _, err := rb.CheckInvariants(acc); err != "" {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if _, ok := rb.Get(acc, mem.Word(i)); !ok {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+}
+
+// --- RadixTree ---
+
+func TestRadixInsertGet(t *testing.T) {
+	acc := newAcc()
+	rt := NewRadixTree(acc, newHeap(), 0, 20)
+	rt.Insert(acc, 0xABCDE, 7)
+	v, ok := rt.Get(acc, 0xABCDE)
+	if !ok || v != 7 {
+		t.Fatalf("get = %d/%v", v, ok)
+	}
+	if _, ok := rt.Get(acc, 0xABCDF); ok {
+		t.Error("phantom key")
+	}
+	rt.Insert(acc, 0xABCDE, 9)
+	if v, _ := rt.Get(acc, 0xABCDE); v != 9 {
+		t.Error("update failed")
+	}
+	// Key 0 and max key both work.
+	rt.Insert(acc, 0, 1)
+	rt.Insert(acc, (1<<20)-1, 2)
+	if v, ok := rt.Get(acc, 0); !ok || v != 1 {
+		t.Error("key 0 broken")
+	}
+	if v, ok := rt.Get(acc, (1<<20)-1); !ok || v != 2 {
+		t.Error("max key broken")
+	}
+}
+
+func TestRadixRandomAgainstModel(t *testing.T) {
+	acc := newAcc()
+	rt := NewRadixTree(acc, newHeap(), 0, 16)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		k := mem.Word(rng.Intn(1 << 16))
+		v := mem.Word(rng.Int63n(1 << 40))
+		rt.Insert(acc, k, v)
+		model[k] = v
+	}
+	for k, want := range model {
+		got, ok := rt.Get(acc, k)
+		if !ok || got != want {
+			t.Fatalf("key %#x: %d/%v, want %d", uint64(k), got, ok, want)
+		}
+	}
+}
+
+// --- CritBitTrie ---
+
+func TestCritBitInsertGet(t *testing.T) {
+	acc := newAcc()
+	cb := NewCritBitTrie(acc, newHeap(), 0)
+	if _, ok := cb.Get(acc, 5); ok {
+		t.Error("empty trie found a key")
+	}
+	keys := []mem.Word{5, 1, 9, 8, 1 << 60, 7, 6}
+	for i, k := range keys {
+		cb.Insert(acc, k, mem.Word(i))
+	}
+	for i, k := range keys {
+		v, ok := cb.Get(acc, k)
+		if !ok || v != mem.Word(i) {
+			t.Fatalf("key %d: %d/%v", k, v, ok)
+		}
+	}
+	if _, ok := cb.Get(acc, 1234567); ok {
+		t.Error("phantom key")
+	}
+	cb.Insert(acc, 5, 99)
+	if v, _ := cb.Get(acc, 5); v != 99 {
+		t.Error("update failed")
+	}
+}
+
+func TestCritBitRandomAgainstModel(t *testing.T) {
+	acc := newAcc()
+	cb := NewCritBitTrie(acc, newHeap(), 0)
+	model := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		k := mem.Word(rng.Int63n(1 << 48))
+		v := mem.Word(i)
+		cb.Insert(acc, k, v)
+		model[k] = v
+	}
+	for k, want := range model {
+		got, ok := cb.Get(acc, k)
+		if !ok || got != want {
+			t.Fatalf("key %#x: got %d/%v want %d", uint64(k), got, ok, want)
+		}
+	}
+	// Missing keys stay missing.
+	for i := 0; i < 500; i++ {
+		k := mem.Word(rng.Int63n(1<<48)) | 1<<50
+		if _, ok := cb.Get(acc, k); ok {
+			t.Fatalf("phantom high key %#x", uint64(k))
+		}
+	}
+}

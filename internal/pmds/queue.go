@@ -1,0 +1,67 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// Queue is the Queue micro-benchmark structure: a persistent ring buffer
+// of 64 B elements with head/tail index words. Transactions enqueue and
+// dequeue random elements (Table III). Ring slots are reused, giving the
+// low spatial locality the paper calls out when comparing Silo and LAD on
+// Queue (§VI-C).
+type Queue struct {
+	meta mem.Addr // word0 = head, word1 = tail (indices, monotonically increasing)
+	ring mem.Addr
+	cap  int
+}
+
+// NewQueue allocates a ring of capacity 64 B slots.
+func NewQueue(acc Accessor, heap *pmheap.Heap, arena, capacity int) *Queue {
+	q := &Queue{
+		meta: heap.AllocLines(arena, 1),
+		ring: heap.AllocLines(arena, capacity),
+		cap:  capacity,
+	}
+	acc.Store(word(q.meta, 0), 0)
+	acc.Store(word(q.meta, 1), 0)
+	return q
+}
+
+func (q *Queue) slot(i mem.Word, w int) mem.Addr {
+	return word(q.ring+mem.Addr(int(uint64(i)%uint64(q.cap))*mem.LineSize), w)
+}
+
+// Len returns the number of queued elements.
+func (q *Queue) Len(acc Accessor) int {
+	h := acc.Load(word(q.meta, 0))
+	t := acc.Load(word(q.meta, 1))
+	return int(t - h)
+}
+
+// Enqueue appends a 64 B element whose first word is v; it reports false
+// when the ring is full.
+func (q *Queue) Enqueue(acc Accessor, v mem.Word) bool {
+	h := acc.Load(word(q.meta, 0))
+	t := acc.Load(word(q.meta, 1))
+	if int(t-h) >= q.cap {
+		return false
+	}
+	acc.Store(q.slot(t, 0), v)
+	acc.Store(q.slot(t, 1), v^0xA5A5)
+	acc.Store(word(q.meta, 1), t+1)
+	return true
+}
+
+// Dequeue removes the oldest element, reporting its payload word.
+func (q *Queue) Dequeue(acc Accessor) (mem.Word, bool) {
+	h := acc.Load(word(q.meta, 0))
+	t := acc.Load(word(q.meta, 1))
+	if h == t {
+		return 0, false
+	}
+	v := acc.Load(q.slot(h, 0))
+	acc.Store(q.slot(h, 0), 0) // clear the slot (tombstone write)
+	acc.Store(word(q.meta, 0), h+1)
+	return v, true
+}

@@ -1,0 +1,84 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// RadixTree is the Rtree workload from PMDK (Fig. 4): a fixed-stride
+// radix tree over fixed-width keys, 4 bits per level. Each node is 16
+// child pointers (two cachelines); the final level's slots hold values
+// tagged with the presence bit.
+type RadixTree struct {
+	rootPtr mem.Addr
+	heap    *pmheap.Heap
+	arena   int
+	levels  int // number of 4-bit digits in a key
+}
+
+const radixFanout = 16
+
+// radixPresent tags an occupied value slot at the last level.
+const radixPresent mem.Word = 1 << 63
+
+// NewRadixTree allocates an empty tree over keys of keyBits bits
+// (rounded up to a multiple of 4).
+func NewRadixTree(acc Accessor, heap *pmheap.Heap, arena, keyBits int) *RadixTree {
+	levels := (keyBits + 3) / 4
+	if levels < 1 {
+		levels = 1
+	}
+	t := &RadixTree{
+		rootPtr: heap.Alloc(arena, mem.WordSize, mem.WordSize),
+		heap:    heap,
+		arena:   arena,
+		levels:  levels,
+	}
+	acc.Store(t.rootPtr, mem.Word(t.newNode(acc)))
+	return t
+}
+
+func (t *RadixTree) newNode(acc Accessor) mem.Addr {
+	n := t.heap.Alloc(t.arena, radixFanout*mem.WordSize, mem.LineSize)
+	for i := 0; i < radixFanout; i++ {
+		acc.Store(word(n, i), 0)
+	}
+	return n
+}
+
+func (t *RadixTree) digit(key mem.Word, level int) int {
+	shift := uint(4 * (t.levels - 1 - level))
+	return int(key>>shift) & 0xF
+}
+
+// Insert maps key → val, creating interior nodes as needed.
+func (t *RadixTree) Insert(acc Accessor, key, val mem.Word) {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	for level := 0; level < t.levels-1; level++ {
+		slot := word(n, t.digit(key, level))
+		c := mem.Addr(acc.Load(slot))
+		if c == 0 {
+			c = t.newNode(acc)
+			acc.Store(slot, mem.Word(c))
+		}
+		n = c
+	}
+	acc.Store(word(n, t.digit(key, t.levels-1)), val|radixPresent)
+}
+
+// Get returns the value for key.
+func (t *RadixTree) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	n := mem.Addr(acc.Load(t.rootPtr))
+	for level := 0; level < t.levels-1; level++ {
+		c := mem.Addr(acc.Load(word(n, t.digit(key, level))))
+		if c == 0 {
+			return 0, false
+		}
+		n = c
+	}
+	v := acc.Load(word(n, t.digit(key, t.levels-1)))
+	if v&radixPresent == 0 {
+		return 0, false
+	}
+	return v &^ radixPresent, true
+}

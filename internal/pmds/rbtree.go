@@ -1,0 +1,251 @@
+package pmds
+
+import (
+	"silo/internal/mem"
+	"silo/internal/pmheap"
+)
+
+// RBTree is the RBtree micro-benchmark structure: a classic red-black
+// tree with parent pointers, each node one 64 B cacheline. Insertions
+// trigger recolorings and rotations whose scattered parent/child pointer
+// writes give the benchmark its write profile.
+//
+// Node layout:
+//
+//	w0 key, w1 value, w2 left, w3 right, w4 parent, w5 color (1 = red)
+//
+// Address 0 acts as the nil sentinel and is black by definition.
+type RBTree struct {
+	rootPtr mem.Addr
+	heap    *pmheap.Heap
+	arena   int
+}
+
+const (
+	rbKey = iota
+	rbVal
+	rbLeft
+	rbRight
+	rbParent
+	rbColor
+)
+
+const rbRed mem.Word = 1
+
+// NewRBTree allocates an empty tree in arena.
+func NewRBTree(acc Accessor, heap *pmheap.Heap, arena int) *RBTree {
+	t := &RBTree{rootPtr: heap.Alloc(arena, mem.WordSize, mem.WordSize), heap: heap, arena: arena}
+	acc.Store(t.rootPtr, 0)
+	return t
+}
+
+func (t *RBTree) get(acc Accessor, n mem.Addr, f int) mem.Word {
+	if n == 0 {
+		if f == rbColor {
+			return 0 // nil is black
+		}
+		return 0
+	}
+	return acc.Load(word(n, f))
+}
+
+func (t *RBTree) set(acc Accessor, n mem.Addr, f int, v mem.Word) {
+	acc.Store(word(n, f), v)
+}
+
+func (t *RBTree) root(acc Accessor) mem.Addr { return mem.Addr(acc.Load(t.rootPtr)) }
+
+// Get returns the value stored for key.
+func (t *RBTree) Get(acc Accessor, key mem.Word) (mem.Word, bool) {
+	n := t.root(acc)
+	for n != 0 {
+		k := t.get(acc, n, rbKey)
+		switch {
+		case key == k:
+			return t.get(acc, n, rbVal), true
+		case key < k:
+			n = mem.Addr(t.get(acc, n, rbLeft))
+		default:
+			n = mem.Addr(t.get(acc, n, rbRight))
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or updates key → val.
+func (t *RBTree) Insert(acc Accessor, key, val mem.Word) {
+	var parent mem.Addr
+	n := t.root(acc)
+	for n != 0 {
+		k := t.get(acc, n, rbKey)
+		if key == k {
+			t.set(acc, n, rbVal, val)
+			return
+		}
+		parent = n
+		if key < k {
+			n = mem.Addr(t.get(acc, n, rbLeft))
+		} else {
+			n = mem.Addr(t.get(acc, n, rbRight))
+		}
+	}
+	z := t.heap.AllocLines(t.arena, 1)
+	t.set(acc, z, rbKey, key)
+	t.set(acc, z, rbVal, val)
+	t.set(acc, z, rbLeft, 0)
+	t.set(acc, z, rbRight, 0)
+	t.set(acc, z, rbParent, mem.Word(parent))
+	t.set(acc, z, rbColor, rbRed)
+	if parent == 0 {
+		acc.Store(t.rootPtr, mem.Word(z))
+	} else if key < t.get(acc, parent, rbKey) {
+		t.set(acc, parent, rbLeft, mem.Word(z))
+	} else {
+		t.set(acc, parent, rbRight, mem.Word(z))
+	}
+	t.fixInsert(acc, z)
+}
+
+func (t *RBTree) fixInsert(acc Accessor, z mem.Addr) {
+	for {
+		p := mem.Addr(t.get(acc, z, rbParent))
+		if p == 0 || t.get(acc, p, rbColor) != rbRed {
+			break
+		}
+		g := mem.Addr(t.get(acc, p, rbParent))
+		if p == mem.Addr(t.get(acc, g, rbLeft)) {
+			u := mem.Addr(t.get(acc, g, rbRight))
+			if t.get(acc, u, rbColor) == rbRed {
+				t.set(acc, p, rbColor, 0)
+				t.set(acc, u, rbColor, 0)
+				t.set(acc, g, rbColor, rbRed)
+				z = g
+				continue
+			}
+			if z == mem.Addr(t.get(acc, p, rbRight)) {
+				z = p
+				t.rotateLeft(acc, z)
+				p = mem.Addr(t.get(acc, z, rbParent))
+				g = mem.Addr(t.get(acc, p, rbParent))
+			}
+			t.set(acc, p, rbColor, 0)
+			t.set(acc, g, rbColor, rbRed)
+			t.rotateRight(acc, g)
+		} else {
+			u := mem.Addr(t.get(acc, g, rbLeft))
+			if t.get(acc, u, rbColor) == rbRed {
+				t.set(acc, p, rbColor, 0)
+				t.set(acc, u, rbColor, 0)
+				t.set(acc, g, rbColor, rbRed)
+				z = g
+				continue
+			}
+			if z == mem.Addr(t.get(acc, p, rbLeft)) {
+				z = p
+				t.rotateRight(acc, z)
+				p = mem.Addr(t.get(acc, z, rbParent))
+				g = mem.Addr(t.get(acc, p, rbParent))
+			}
+			t.set(acc, p, rbColor, 0)
+			t.set(acc, g, rbColor, rbRed)
+			t.rotateLeft(acc, g)
+		}
+	}
+	root := t.root(acc)
+	if t.get(acc, root, rbColor) == rbRed {
+		t.set(acc, root, rbColor, 0)
+	}
+}
+
+func (t *RBTree) rotateLeft(acc Accessor, x mem.Addr) {
+	y := mem.Addr(t.get(acc, x, rbRight))
+	yl := mem.Addr(t.get(acc, y, rbLeft))
+	t.set(acc, x, rbRight, mem.Word(yl))
+	if yl != 0 {
+		t.set(acc, yl, rbParent, mem.Word(x))
+	}
+	p := mem.Addr(t.get(acc, x, rbParent))
+	t.set(acc, y, rbParent, mem.Word(p))
+	switch {
+	case p == 0:
+		acc.Store(t.rootPtr, mem.Word(y))
+	case x == mem.Addr(t.get(acc, p, rbLeft)):
+		t.set(acc, p, rbLeft, mem.Word(y))
+	default:
+		t.set(acc, p, rbRight, mem.Word(y))
+	}
+	t.set(acc, y, rbLeft, mem.Word(x))
+	t.set(acc, x, rbParent, mem.Word(y))
+}
+
+func (t *RBTree) rotateRight(acc Accessor, x mem.Addr) {
+	y := mem.Addr(t.get(acc, x, rbLeft))
+	yr := mem.Addr(t.get(acc, y, rbRight))
+	t.set(acc, x, rbLeft, mem.Word(yr))
+	if yr != 0 {
+		t.set(acc, yr, rbParent, mem.Word(x))
+	}
+	p := mem.Addr(t.get(acc, x, rbParent))
+	t.set(acc, y, rbParent, mem.Word(p))
+	switch {
+	case p == 0:
+		acc.Store(t.rootPtr, mem.Word(y))
+	case x == mem.Addr(t.get(acc, p, rbLeft)):
+		t.set(acc, p, rbLeft, mem.Word(y))
+	default:
+		t.set(acc, p, rbRight, mem.Word(y))
+	}
+	t.set(acc, y, rbRight, mem.Word(x))
+	t.set(acc, x, rbParent, mem.Word(y))
+}
+
+// CheckInvariants verifies the red-black properties, returning the black
+// height or an error description (tests).
+func (t *RBTree) CheckInvariants(acc Accessor) (blackHeight int, err string) {
+	root := t.root(acc)
+	if root == 0 {
+		return 0, ""
+	}
+	if t.get(acc, root, rbColor) == rbRed {
+		return 0, "root is red"
+	}
+	return t.check(acc, root, 0, ^mem.Word(0))
+}
+
+func (t *RBTree) check(acc Accessor, n mem.Addr, lo, hi mem.Word) (int, string) {
+	if n == 0 {
+		return 1, ""
+	}
+	k := t.get(acc, n, rbKey)
+	if k < lo || k > hi {
+		return 0, "BST order violated"
+	}
+	red := t.get(acc, n, rbColor) == rbRed
+	l := mem.Addr(t.get(acc, n, rbLeft))
+	r := mem.Addr(t.get(acc, n, rbRight))
+	if red {
+		if t.get(acc, l, rbColor) == rbRed || t.get(acc, r, rbColor) == rbRed {
+			return 0, "red node with red child"
+		}
+	}
+	var hiL, loR mem.Word
+	if k > 0 {
+		hiL = k - 1
+	}
+	loR = k + 1
+	bl, e := t.check(acc, l, lo, hiL)
+	if e != "" {
+		return 0, e
+	}
+	br, e := t.check(acc, r, loR, hi)
+	if e != "" {
+		return 0, e
+	}
+	if bl != br {
+		return 0, "black height mismatch"
+	}
+	if !red {
+		bl++
+	}
+	return bl, ""
+}

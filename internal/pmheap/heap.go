@@ -1,0 +1,103 @@
+// Package pmheap provides a simple persistent-memory allocator for the
+// simulated data region: per-arena bump allocation, with one arena per
+// core so threads never contend and the workload partitioning assumed by
+// the paper (§III-A: isolation is software-provided) holds by
+// construction.
+//
+// Allocator metadata lives on the Go side: a real PM allocator persists
+// its metadata too, but allocator-metadata traffic is common to every
+// design under test and does not change the comparisons.
+package pmheap
+
+import (
+	"fmt"
+
+	"silo/internal/mem"
+)
+
+// Heap carves the PM data region into equal per-arena slices. Freed
+// blocks go to per-arena, per-size free lists (LIFO), so delete-heavy
+// structures reuse memory instead of leaking the arena.
+type Heap struct {
+	arenas int
+	base   []mem.Addr
+	next   []mem.Addr
+	limit  []mem.Addr
+	free   []map[int][]mem.Addr // arena -> rounded size -> free blocks
+}
+
+// New splits layout's data region into n arenas. The first 4 KB of the
+// region is left unused so address 0 never escapes as a valid pointer
+// (data structures use 0 as nil).
+func New(layout mem.Layout, n int) *Heap {
+	if n < 1 {
+		n = 1
+	}
+	h := &Heap{arenas: n}
+	per := (layout.DataSize - 4096) / uint64(n)
+	per &^= mem.LineSize - 1
+	for i := 0; i < n; i++ {
+		base := layout.DataBase + 4096 + mem.Addr(uint64(i)*per)
+		h.base = append(h.base, base)
+		h.next = append(h.next, base)
+		h.limit = append(h.limit, base+mem.Addr(per))
+		h.free = append(h.free, make(map[int][]mem.Addr))
+	}
+	return h
+}
+
+// roundSize normalizes a (size, align) request so frees and allocs meet in
+// the same free list: size rounded up to the alignment.
+func roundSize(size, align int) (int, int) {
+	if align < mem.WordSize {
+		align = mem.WordSize
+	}
+	size = (size + align - 1) &^ (align - 1)
+	return size, align
+}
+
+// Alloc returns size bytes from arena, aligned to align (a power of two,
+// at least 8), reusing a freed block of the same rounded size when one is
+// available. It panics when the arena is exhausted — simulation workloads
+// are sized well below arena capacity.
+func (h *Heap) Alloc(arena, size, align int) mem.Addr {
+	size, align = roundSize(size, align)
+	if list := h.free[arena][size]; len(list) > 0 {
+		a := list[len(list)-1]
+		h.free[arena][size] = list[:len(list)-1]
+		return a
+	}
+	a := (h.next[arena] + mem.Addr(align-1)) &^ mem.Addr(align-1)
+	if a+mem.Addr(size) > h.limit[arena] {
+		panic(fmt.Sprintf("pmheap: arena %d exhausted", arena))
+	}
+	h.next[arena] = a + mem.Addr(size)
+	return a
+}
+
+// Free returns a block previously allocated with Alloc(arena, size, align)
+// to its arena's free list. The caller is responsible for not using the
+// block afterwards; the simulated bytes are not zeroed (matching PM
+// allocators, where stale contents persist until overwritten).
+func (h *Heap) Free(arena int, addr mem.Addr, size, align int) {
+	size, _ = roundSize(size, align)
+	h.free[arena][size] = append(h.free[arena][size], addr)
+}
+
+// FreeLines returns an n-cacheline block allocated with AllocLines.
+func (h *Heap) FreeLines(arena int, addr mem.Addr, n int) {
+	h.Free(arena, addr, n*mem.LineSize, mem.LineSize)
+}
+
+// AllocLines allocates n cachelines, line-aligned.
+func (h *Heap) AllocLines(arena, n int) mem.Addr {
+	return h.Alloc(arena, n*mem.LineSize, mem.LineSize)
+}
+
+// Used returns the bytes allocated from arena so far.
+func (h *Heap) Used(arena int) uint64 {
+	return uint64(h.next[arena] - h.base[arena])
+}
+
+// Arenas returns the arena count.
+func (h *Heap) Arenas() int { return h.arenas }

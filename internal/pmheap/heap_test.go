@@ -1,0 +1,142 @@
+package pmheap
+
+import (
+	"testing"
+
+	"silo/internal/mem"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	h := New(mem.DefaultLayout(), 2)
+	a := h.Alloc(0, 10, 8)
+	if !a.IsWordAligned() {
+		t.Errorf("alloc %v not word-aligned", a)
+	}
+	b := h.Alloc(0, 1, 64)
+	if !b.IsLineAligned() {
+		t.Errorf("alloc %v not line-aligned", b)
+	}
+	if b <= a {
+		t.Error("bump allocator went backwards")
+	}
+	c := h.AllocLines(0, 2)
+	if !c.IsLineAligned() {
+		t.Error("AllocLines not line-aligned")
+	}
+}
+
+func TestAllocNeverReturnsZero(t *testing.T) {
+	h := New(mem.DefaultLayout(), 1)
+	if a := h.Alloc(0, 8, 8); a == 0 {
+		t.Error("address 0 escaped the allocator (reserved as nil)")
+	}
+}
+
+func TestArenasDisjoint(t *testing.T) {
+	h := New(mem.DefaultLayout(), 4)
+	if h.Arenas() != 4 {
+		t.Fatal("arena count")
+	}
+	var ranges [][2]mem.Addr
+	for a := 0; a < 4; a++ {
+		lo := h.Alloc(a, 64, 64)
+		for i := 0; i < 100; i++ {
+			h.Alloc(a, 128, 8)
+		}
+		hi := h.Alloc(a, 64, 64)
+		ranges = append(ranges, [2]mem.Addr{lo, hi})
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if ranges[i][1] >= ranges[j][0] && ranges[j][1] >= ranges[i][0] {
+				t.Errorf("arenas %d and %d overlap: %v %v", i, j, ranges[i], ranges[j])
+			}
+		}
+	}
+}
+
+func TestAllocInDataRegion(t *testing.T) {
+	layout := mem.DefaultLayout()
+	h := New(layout, 8)
+	for a := 0; a < 8; a++ {
+		addr := h.Alloc(a, 4096, 64)
+		if !layout.InData(addr) || !layout.InData(addr+4095) {
+			t.Errorf("arena %d allocation escaped the data region", a)
+		}
+	}
+}
+
+func TestUsedTracking(t *testing.T) {
+	h := New(mem.DefaultLayout(), 1)
+	if h.Used(0) != 0 {
+		t.Error("fresh arena has usage")
+	}
+	h.Alloc(0, 100, 8)
+	if got := h.Used(0); got < 100 {
+		t.Errorf("used = %d, want >= 100", got)
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	layout := mem.Layout{DataBase: 0, DataSize: 8192 + 4096, LogBase: 1 << 40, LogSize: 1 << 20}
+	h := New(layout, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted arena did not panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		h.Alloc(0, 1024, 8)
+	}
+}
+
+func TestZeroArenasClamped(t *testing.T) {
+	h := New(mem.DefaultLayout(), 0)
+	if h.Arenas() != 1 {
+		t.Errorf("arenas = %d, want 1", h.Arenas())
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	h := New(mem.DefaultLayout(), 1)
+	a := h.AllocLines(0, 1)
+	h.FreeLines(0, a, 1)
+	b := h.AllocLines(0, 1)
+	if b != a {
+		t.Errorf("freed line block not reused: %v vs %v", b, a)
+	}
+	// Different size classes do not cross.
+	c := h.Alloc(0, 24, 8)
+	h.Free(0, c, 24, 8)
+	if d := h.Alloc(0, 64, 64); d == c {
+		t.Error("64B alloc reused a 24B block")
+	}
+	if e := h.Alloc(0, 24, 8); e != c {
+		t.Errorf("24B alloc did not reuse the freed block: %v vs %v", e, c)
+	}
+}
+
+func TestFreeListBoundsUsage(t *testing.T) {
+	// Allocate/free in a loop: usage must not grow without bound.
+	h := New(mem.DefaultLayout(), 1)
+	h.Alloc(0, 64, 64)
+	before := h.Used(0)
+	for i := 0; i < 10000; i++ {
+		a := h.AllocLines(0, 2)
+		h.FreeLines(0, a, 2)
+	}
+	if grew := h.Used(0) - before; grew > 256 {
+		t.Errorf("alloc/free loop leaked %d bytes", grew)
+	}
+}
+
+func TestRoundSizeMeets(t *testing.T) {
+	// A free with the same (size, align) must land in the list the next
+	// alloc consults, even when size is not align-multiple.
+	h := New(mem.DefaultLayout(), 1)
+	a := h.Alloc(0, 26, 8) // rounds to 32
+	h.Free(0, a, 26, 8)
+	if b := h.Alloc(0, 32, 8); b != a {
+		t.Errorf("rounded size classes disagree: %v vs %v", b, a)
+	}
+}

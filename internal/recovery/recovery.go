@@ -1,0 +1,111 @@
+// Package recovery implements the post-crash procedure of §III-G: scan the
+// distributed PM log region, identify committed transactions by their ID
+// tuples, replay the redo logs of committed transactions whose in-place
+// updates had not finished, and revoke the partial updates of uncommitted
+// transactions using their undo logs.
+//
+// The same procedure recovers the baseline designs' logs (full undo+redo
+// records with or without commit markers), which lets the test suite
+// verify atomic durability for every evaluated scheme, not just Silo.
+package recovery
+
+import (
+	"silo/internal/logging"
+	"silo/internal/mem"
+	"silo/internal/pm"
+)
+
+// Report summarizes one recovery pass.
+type Report struct {
+	CommittedTx  int // transactions found committed via ID tuples
+	RedoApplied  int // redo records replayed
+	UndoApplied  int // undo records revoked
+	Discarded    int // flush-bit-1 records of committed transactions
+	TotalRecords int
+}
+
+type txKey struct {
+	tid  uint8
+	txid uint16
+}
+
+// Recover runs the recovery procedure over every thread's log area and
+// applies the resulting writes directly to the PM data region (recovery
+// I/O is not part of the evaluated run's traffic).
+func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
+	var rep Report
+	all := region.ScanAll()
+
+	// Pass 1: the ID tuples name the committed transactions (§III-G).
+	committed := make(map[txKey]bool)
+	for _, records := range all {
+		for _, im := range records {
+			rep.TotalRecords++
+			if im.Kind == logging.ImageCommit {
+				committed[txKey{im.TID, im.TxID}] = true
+				rep.CommittedTx++
+			}
+		}
+	}
+
+	// Pass 2, per thread: replay committed redo in append order, then
+	// revoke uncommitted undo in reverse append order. Threads write
+	// disjoint words (isolation is software-provided, §III-A), so the
+	// per-thread ordering is the only one that matters.
+	for _, records := range all {
+		var undo []logging.Image
+		for _, im := range records {
+			if im.Kind == logging.ImageCommit {
+				continue
+			}
+			k := txKey{im.TID, im.TxID}
+			if committed[k] {
+				if im.FlushBit {
+					// Overflowed undo log of a committed transaction:
+					// the data already reached PM; discard (§III-G).
+					rep.Discarded++
+					continue
+				}
+				switch im.Kind {
+				case logging.ImageRedo:
+					dev.PokeWord(im.Addr, im.Data)
+					rep.RedoApplied++
+				case logging.ImageUndoRedo:
+					dev.PokeWord(im.Addr, im.Data2)
+					rep.RedoApplied++
+				case logging.ImageUndo:
+					// An undo record of a committed transaction without
+					// its flush-bit set: its data is already durable
+					// (it was evicted or in-place updated); discard.
+					rep.Discarded++
+				}
+				continue
+			}
+			// Uncommitted: collect the old data for reverse revoke.
+			switch im.Kind {
+			case logging.ImageUndo, logging.ImageUndoRedo:
+				undo = append(undo, im)
+			case logging.ImageRedo:
+				// A redo record without a commit tuple can only appear
+				// if the crash flush was itself interrupted; ignoring it
+				// is safe (the transaction is treated as aborted).
+				rep.Discarded++
+			}
+		}
+		for i := len(undo) - 1; i >= 0; i-- {
+			dev.PokeWord(undo[i].Addr, undo[i].Data)
+			rep.UndoApplied++
+		}
+	}
+	return rep
+}
+
+// VerifyWord checks one word of the recovered data region against an
+// expected value, returning a mismatch description or "".
+func VerifyWord(dev *pm.Device, addr mem.Addr, want mem.Word) (gotWrong mem.Word, ok bool) {
+	got := dev.PeekWord(addr)
+	if got != want {
+		return got, false
+	}
+	return 0, true
+}

@@ -1,0 +1,278 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// Silo reproduction: deterministic multi-core scheduling at memory-operation
+// granularity, a cycle clock, and shared-resource service queues.
+//
+// Each simulated core runs its workload as a goroutine (a Program) that
+// issues operations through a Ctx. The engine serializes all operations,
+// always advancing the core with the smallest local time, so runs are
+// deterministic for a given seed and shared-queue contention is causal:
+// reservations on shared resources are made in nondecreasing global time.
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"silo/internal/mem"
+)
+
+// Cycle is a point in simulated time, measured in CPU cycles (2 GHz in the
+// default configuration, so 1 cycle = 0.5 ns).
+type Cycle int64
+
+// OpKind enumerates the operations a core can issue.
+type OpKind uint8
+
+const (
+	// OpLoad reads one 8-byte word.
+	OpLoad OpKind = iota
+	// OpStore writes one 8-byte word.
+	OpStore
+	// OpTxBegin marks the beginning of a durable transaction (Tx_begin).
+	OpTxBegin
+	// OpTxEnd marks transaction commit (Tx_end).
+	OpTxEnd
+	// OpCompute consumes a fixed number of cycles without touching memory.
+	OpCompute
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpTxBegin:
+		return "tx_begin"
+	case OpTxEnd:
+		return "tx_end"
+	case OpCompute:
+		return "compute"
+	}
+	return "unknown"
+}
+
+// Op is one operation issued by a core.
+type Op struct {
+	Kind   OpKind
+	Addr   mem.Addr // word-aligned for loads/stores
+	Data   mem.Word // store payload
+	Cycles Cycle    // compute duration
+}
+
+// Result is the executor's reply to one operation.
+type Result struct {
+	Latency Cycle    // cycles the core is stalled by this op
+	Value   mem.Word // loaded value (OpLoad only)
+}
+
+// Executor executes operations against the simulated machine (caches,
+// logging hardware, memory controller, PM). It is called with operations
+// in nondecreasing `now` order across all cores.
+type Executor interface {
+	Exec(core int, op Op, now Cycle) Result
+}
+
+// ErrCrashed is the panic value used to unwind core programs when the
+// engine injects a crash; the engine recovers it internally.
+var ErrCrashed = errors.New("sim: machine crashed")
+
+// Program is the body of one core's workload. It must issue all memory
+// traffic through ctx and return when its share of work is done.
+type Program func(ctx *Ctx)
+
+type request struct {
+	op   Op
+	resp chan Result
+}
+
+// Ctx is the interface a Program uses to talk to the engine. It is bound
+// to one core and must only be used from that Program's goroutine.
+type Ctx struct {
+	core int
+	eng  *Engine
+	req  chan request
+	resp chan Result
+	// Rand is a per-core deterministic random source (seed + core id).
+	Rand *rand.Rand
+}
+
+// Core returns the core index this context is bound to.
+func (c *Ctx) Core() int { return c.core }
+
+func (c *Ctx) issue(op Op) Result {
+	c.req <- request{op: op, resp: c.resp}
+	r := <-c.resp
+	if r.Latency < 0 { // crash sentinel
+		panic(ErrCrashed)
+	}
+	return r
+}
+
+// Load reads the 8-byte word at addr (word-aligned).
+func (c *Ctx) Load(addr mem.Addr) mem.Word {
+	return c.issue(Op{Kind: OpLoad, Addr: addr.Word()}).Value
+}
+
+// Store writes the 8-byte word at addr (word-aligned).
+func (c *Ctx) Store(addr mem.Addr, v mem.Word) {
+	c.issue(Op{Kind: OpStore, Addr: addr.Word(), Data: v})
+}
+
+// TxBegin starts a durable transaction on this core.
+func (c *Ctx) TxBegin() { c.issue(Op{Kind: OpTxBegin}) }
+
+// TxEnd commits the current transaction; it returns when the design's
+// commit protocol (ordering constraints included) has completed.
+func (c *Ctx) TxEnd() { c.issue(Op{Kind: OpTxEnd}) }
+
+// Compute advances this core's clock by n cycles of pure computation.
+func (c *Ctx) Compute(n Cycle) {
+	if n > 0 {
+		c.issue(Op{Kind: OpCompute, Cycles: n})
+	}
+}
+
+// Engine coordinates the per-core program goroutines and the executor.
+type Engine struct {
+	exec  Executor
+	cores int
+	seed  int64
+
+	mu      sync.Mutex
+	crashed bool
+
+	// Stats populated by Run.
+	coreTime  []Cycle
+	opsByKind [5]int64
+}
+
+// NewEngine creates an engine over exec with the given core count. Seed
+// drives the per-core random sources handed to programs.
+func NewEngine(exec Executor, cores int, seed int64) *Engine {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Engine{exec: exec, cores: cores, seed: seed, coreTime: make([]Cycle, cores)}
+}
+
+// Crash flags the machine as crashed; every program unwinds at its next
+// operation and Run returns. Safe to call from the executor (which runs on
+// the engine goroutine) or from a stop-condition callback.
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	e.crashed = true
+	e.mu.Unlock()
+}
+
+// Crashed reports whether a crash has been injected.
+func (e *Engine) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Now returns the maximum core-local time observed so far — the "wall
+// clock" of the simulation.
+func (e *Engine) Now() Cycle {
+	var max Cycle
+	for _, t := range e.coreTime {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// CoreTime returns core i's local clock.
+func (e *Engine) CoreTime(i int) Cycle { return e.coreTime[i] }
+
+// Ops returns the number of operations of kind k executed.
+func (e *Engine) Ops(k OpKind) int64 { return e.opsByKind[k] }
+
+// Run executes one Program per core to completion (or until a crash) and
+// returns the final simulated time. It may be called once per Engine.
+func (e *Engine) Run(programs []Program) Cycle {
+	if len(programs) != e.cores {
+		panic("sim: len(programs) must equal core count")
+	}
+	type slot struct {
+		pending *request
+		done    bool
+	}
+	slots := make([]slot, e.cores)
+	reqCh := make([]chan request, e.cores)
+	doneCh := make(chan int, e.cores)
+
+	for i := 0; i < e.cores; i++ {
+		reqCh[i] = make(chan request)
+		ctx := &Ctx{
+			core: i,
+			eng:  e,
+			req:  reqCh[i],
+			resp: make(chan Result, 1),
+			Rand: rand.New(rand.NewSource(e.seed + int64(i)*1_000_003)),
+		}
+		go func(i int, p Program, ctx *Ctx) {
+			defer func() {
+				if r := recover(); r != nil && r != ErrCrashed { //nolint:errorlint
+					panic(r)
+				}
+				doneCh <- i
+			}()
+			p(ctx)
+		}(i, programs[i], ctx)
+	}
+
+	live := e.cores
+	for live > 0 {
+		// Gather a pending request (or completion) from every live core,
+		// so the min-time choice below is well defined. A done signal can
+		// arrive for any core while we wait on core i's channel.
+		for i := 0; i < e.cores; i++ {
+			for !slots[i].done && slots[i].pending == nil {
+				select {
+				case r := <-reqCh[i]:
+					slots[i].pending = &r
+				case c := <-doneCh:
+					slots[c].done = true
+					live--
+				}
+			}
+		}
+		if live == 0 {
+			break
+		}
+		// Pick the live core with the smallest local time.
+		best := -1
+		for i := range slots {
+			if slots[i].pending == nil {
+				continue
+			}
+			if best == -1 || e.coreTime[i] < e.coreTime[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		req := slots[best].pending
+		slots[best].pending = nil
+
+		if e.Crashed() {
+			req.resp <- Result{Latency: -1}
+			continue
+		}
+		res := e.exec.Exec(best, req.op, e.coreTime[best])
+		if res.Latency < 0 {
+			// Executor-injected crash: unwind without advancing time.
+			req.resp <- res
+			continue
+		}
+		e.opsByKind[req.op.Kind]++
+		e.coreTime[best] += res.Latency
+		req.resp <- res
+	}
+	return e.Now()
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+
+	"silo/internal/mem"
+)
+
+// recordingExec logs every op with its core and time, and answers loads
+// from a word map.
+type recordingExec struct {
+	ops   []execRecord
+	words map[mem.Addr]mem.Word
+	lat   Cycle
+}
+
+type execRecord struct {
+	core int
+	op   Op
+	now  Cycle
+}
+
+func (e *recordingExec) Exec(core int, op Op, now Cycle) Result {
+	e.ops = append(e.ops, execRecord{core, op, now})
+	switch op.Kind {
+	case OpStore:
+		if e.words == nil {
+			e.words = make(map[mem.Addr]mem.Word)
+		}
+		e.words[op.Addr] = op.Data
+	case OpLoad:
+		return Result{Latency: e.lat, Value: e.words[op.Addr]}
+	case OpCompute:
+		return Result{Latency: op.Cycles}
+	}
+	return Result{Latency: e.lat}
+}
+
+func TestEngineSingleCore(t *testing.T) {
+	exec := &recordingExec{lat: 5}
+	e := NewEngine(exec, 1, 1)
+	end := e.Run([]Program{func(ctx *Ctx) {
+		ctx.TxBegin()
+		ctx.Store(64, 7)
+		if got := ctx.Load(64); got != 7 {
+			t.Errorf("load returned %d, want 7", got)
+		}
+		ctx.TxEnd()
+		ctx.Compute(100)
+	}})
+	if len(exec.ops) != 5 {
+		t.Fatalf("executed %d ops, want 5", len(exec.ops))
+	}
+	// 4 ops at 5 cycles + compute 100.
+	if end != 120 {
+		t.Errorf("final time = %d, want 120", end)
+	}
+	if e.Ops(OpStore) != 1 || e.Ops(OpLoad) != 1 || e.Ops(OpCompute) != 1 {
+		t.Errorf("op counters wrong: %d stores %d loads", e.Ops(OpStore), e.Ops(OpLoad))
+	}
+}
+
+func TestEngineMinTimeInterleaving(t *testing.T) {
+	// Core 0 issues slow ops, core 1 fast ops; the engine must execute
+	// ops in nondecreasing time order.
+	exec := &recordingExec{}
+	e := NewEngine(exec, 2, 1)
+	mk := func(n int, c Cycle) Program {
+		return func(ctx *Ctx) {
+			for i := 0; i < n; i++ {
+				ctx.Compute(c)
+			}
+		}
+	}
+	e.Run([]Program{mk(3, 100), mk(30, 7)})
+	var last Cycle
+	for i, r := range exec.ops {
+		if r.now < last {
+			t.Fatalf("op %d executed at %d after time %d", i, r.now, last)
+		}
+		last = r.now
+	}
+	if got := e.CoreTime(0); got != 300 {
+		t.Errorf("core 0 time = %d, want 300", got)
+	}
+	if got := e.CoreTime(1); got != 210 {
+		t.Errorf("core 1 time = %d, want 210", got)
+	}
+	if e.Now() != 300 {
+		t.Errorf("Now() = %d, want 300", e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []execRecord {
+		exec := &recordingExec{lat: 3}
+		e := NewEngine(exec, 4, 99)
+		progs := make([]Program, 4)
+		for i := range progs {
+			progs[i] = func(ctx *Ctx) {
+				for k := 0; k < 50; k++ {
+					a := mem.Addr(ctx.Rand.Intn(1024)) * 8
+					ctx.Store(a, mem.Word(k))
+					ctx.Load(a)
+					ctx.Compute(Cycle(ctx.Rand.Intn(20)))
+				}
+			}
+		}
+		e.Run(progs)
+		return exec.ops
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different op counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEnginePerCoreRandIndependent(t *testing.T) {
+	exec := &recordingExec{}
+	e := NewEngine(exec, 2, 5)
+	got := make([][]int, 2)
+	var progs []Program
+	for i := 0; i < 2; i++ {
+		progs = append(progs, func(ctx *Ctx) {
+			for k := 0; k < 10; k++ {
+				got[ctx.Core()] = append(got[ctx.Core()], ctx.Rand.Intn(1000))
+			}
+			ctx.Compute(1)
+		})
+	}
+	e.Run(progs)
+	same := true
+	for i := range got[0] {
+		if got[0][i] != got[1][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("cores received identical random streams")
+	}
+}
+
+type crashAtExec struct {
+	n      int64
+	at     int64
+	engine *Engine
+}
+
+func (c *crashAtExec) Exec(core int, op Op, now Cycle) Result {
+	c.n++
+	if c.n == c.at {
+		c.engine.Crash()
+	}
+	return Result{Latency: 1}
+}
+
+func TestEngineCrashUnwindsAllCores(t *testing.T) {
+	exec := &crashAtExec{at: 37}
+	e := NewEngine(exec, 4, 1)
+	exec.engine = e
+	finished := make([]bool, 4)
+	progs := make([]Program, 4)
+	for i := range progs {
+		progs[i] = func(ctx *Ctx) {
+			for k := 0; k < 1000; k++ {
+				ctx.Compute(1)
+			}
+			finished[ctx.Core()] = true
+		}
+	}
+	e.Run(progs) // must terminate despite programs wanting 4000 ops
+	if !e.Crashed() {
+		t.Fatal("engine not marked crashed")
+	}
+	for i, f := range finished {
+		if f {
+			t.Errorf("core %d finished normally despite crash", i)
+		}
+	}
+	if exec.n > 40 {
+		t.Errorf("ops after crash: executed %d, crash at 37", exec.n)
+	}
+}
+
+func TestEngineEmptyPrograms(t *testing.T) {
+	e := NewEngine(&recordingExec{}, 2, 1)
+	if end := e.Run([]Program{func(*Ctx) {}, func(*Ctx) {}}); end != 0 {
+		t.Errorf("empty programs advanced time to %d", end)
+	}
+}
+
+func TestEngineNegativeLatencyDoesNotAdvance(t *testing.T) {
+	// An executor returning -1 (crash sentinel) must unwind the program
+	// without moving its clock.
+	exec := &negExec{}
+	e := NewEngine(exec, 1, 1)
+	exec.e = e
+	e.Run([]Program{func(ctx *Ctx) {
+		ctx.Compute(10)
+		ctx.Compute(10) // this op gets the -1 reply
+		t.Error("program continued past crash reply")
+	}})
+	if e.CoreTime(0) != 10 {
+		t.Errorf("core time = %d, want 10", e.CoreTime(0))
+	}
+}
+
+type negExec struct {
+	n int
+	e *Engine
+}
+
+func (x *negExec) Exec(core int, op Op, now Cycle) Result {
+	x.n++
+	if x.n == 2 {
+		x.e.Crash()
+		return Result{Latency: -1}
+	}
+	return Result{Latency: op.Cycles}
+}
+
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpLoad: "load", OpStore: "store", OpTxBegin: "tx_begin",
+		OpTxEnd: "tx_end", OpCompute: "compute", OpKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestEngineMismatchedProgramsPanics(t *testing.T) {
+	e := NewEngine(&recordingExec{}, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched program count did not panic")
+		}
+	}()
+	e.Run([]Program{func(*Ctx) {}})
+}
+
+func TestComputeZeroIsNoOp(t *testing.T) {
+	exec := &recordingExec{}
+	e := NewEngine(exec, 1, 1)
+	e.Run([]Program{func(ctx *Ctx) {
+		ctx.Compute(0)
+		ctx.Compute(-5)
+		ctx.Compute(3)
+	}})
+	if len(exec.ops) != 1 {
+		t.Errorf("zero/negative compute reached the executor: %d ops", len(exec.ops))
+	}
+	if e.Now() != 3 {
+		t.Errorf("time = %d", e.Now())
+	}
+}
+
+func TestEngineZeroCoresClamped(t *testing.T) {
+	e := NewEngine(&recordingExec{}, 0, 1)
+	if end := e.Run([]Program{func(*Ctx) {}}); end != 0 {
+		t.Error("clamped single-core engine misbehaved")
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for _, v := range []int64{0, 1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	want := float64(0+1+2+4+8+1000) / 6
+	if h.Mean() != want {
+		t.Errorf("mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Max() != 0 || h.Percentile(100) != 0 {
+		t.Error("negative observation not clamped")
+	}
+}
+
+func TestHistogramConstantSeries(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(7)
+	}
+	if p := h.Percentile(50); p < 7 || p > 7 {
+		t.Errorf("P50 of constant 7 = %d", p)
+	}
+	if p := h.Percentile(99); p != 7 {
+		t.Errorf("P99 of constant 7 = %d (upper bound must clamp to max)", p)
+	}
+}
+
+// TestHistogramPercentileBounds: the bucketed percentile is an upper bound
+// within 2x of the exact percentile (power-of-two buckets).
+func TestHistogramPercentileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var all []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.ExpFloat64() * 300)
+		h.Observe(v)
+		all = append(all, v)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, p := range []float64{50, 90, 99} {
+		exact := all[int(p/100*float64(len(all)))-1]
+		got := h.Percentile(p)
+		if got < exact {
+			t.Errorf("P%.0f = %d below exact %d", p, got, exact)
+		}
+		if exact > 0 && got > 2*exact+1 {
+			t.Errorf("P%.0f = %d more than 2x exact %d", p, got, exact)
+		}
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.Int63n(1 << 20))
+	}
+	last := int64(-1)
+	for p := 1.0; p <= 100; p++ {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("percentile not monotone at P%.0f: %d < %d", p, v, last)
+		}
+		last = v
+	}
+	if h.Percentile(200) != h.Percentile(100) {
+		t.Error("out-of-range percentile not clamped")
+	}
+}

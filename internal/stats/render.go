@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file adds alternative renderings of Table: horizontal ASCII bar
+// charts (the closest a terminal gets to the paper's figures), CSV and
+// JSON — so silo-bench output can be eyeballed, spreadsheeted or plotted.
+
+// BarChart renders the table's numeric cells as grouped horizontal bars,
+// one group per row, one bar per numeric column, scaled to maxWidth
+// characters against the table-wide maximum. Non-numeric cells are
+// skipped. The first column is treated as the row label.
+func (t *Table) BarChart(maxWidth int) string {
+	if maxWidth < 8 {
+		maxWidth = 8
+	}
+	max := 0.0
+	type bar struct {
+		label string
+		col   string
+		val   float64
+	}
+	var bars [][]bar
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		var group []bar
+		for i := 1; i < len(row) && i < len(t.Columns); i++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[i]), 64)
+			if err != nil {
+				continue
+			}
+			group = append(group, bar{label: row[0], col: t.Columns[i], val: v})
+			if v > max {
+				max = v
+			}
+		}
+		if len(group) > 0 {
+			bars = append(bars, group)
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	if max <= 0 || len(bars) == 0 {
+		b.WriteString("(no numeric data)\n")
+		return b.String()
+	}
+	labelW, colW := 0, 0
+	for _, group := range bars {
+		for _, bar := range group {
+			if len(bar.label) > labelW {
+				labelW = len(bar.label)
+			}
+			if len(bar.col) > colW {
+				colW = len(bar.col)
+			}
+		}
+	}
+	for _, group := range bars {
+		for i, bar := range group {
+			label := bar.label
+			if i > 0 {
+				label = ""
+			}
+			n := int(bar.val / max * float64(maxWidth))
+			if n < 1 && bar.val > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s %.3g\n",
+				labelW, label, colW, bar.col, strings.Repeat("#", n), bar.val)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Columns))
+		copy(padded, row)
+		if err := cw.Write(padded); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as a JSON object with title, columns and rows.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, t.Rows})
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Sample", "Design", "A", "B")
+	t.AddRow("Base", "1.000", "2.0")
+	t.AddRow("Silo", "4.500", "0.5")
+	return t
+}
+
+func TestBarChart(t *testing.T) {
+	out := sampleTable().BarChart(40)
+	if !strings.Contains(out, "Sample") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Silo") || !strings.Contains(out, "#") {
+		t.Errorf("missing bars:\n%s", out)
+	}
+	// The largest value gets the longest bar.
+	var maxLine string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Count(l, "#") > strings.Count(maxLine, "#") {
+			maxLine = l
+		}
+	}
+	if !strings.Contains(maxLine, "4.5") {
+		t.Errorf("longest bar is not the max value:\n%s", out)
+	}
+}
+
+func TestBarChartNonNumeric(t *testing.T) {
+	tb := NewTable("T", "K", "V")
+	tb.AddRow("x", "not-a-number")
+	if out := tb.BarChart(40); !strings.Contains(out, "no numeric data") {
+		t.Errorf("non-numeric table rendered bars:\n%s", out)
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	tb := NewTable("T", "K", "V")
+	tb.AddRow("big", "1000")
+	tb.AddRow("small", "0.001")
+	out := tb.BarChart(40)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "small") && !strings.Contains(l, "#") {
+			t.Error("nonzero value rendered with no bar")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "Design" || recs[2][1] != "4.500" {
+		t.Errorf("csv = %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Sample" || len(got.Rows) != 2 || got.Columns[2] != "B" {
+		t.Errorf("json = %+v", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats provides the counters collected during a simulation run
+// and small helpers for normalizing result series and rendering the
+// fixed-width tables emitted by the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run aggregates everything a single simulation run produces. The harness
+// combines Runs into the paper's figures.
+type Run struct {
+	Design   string
+	Workload string
+	Cores    int
+
+	Cycles       int64 // simulated wall clock
+	Transactions int64 // committed transactions
+	Loads        int64
+	Stores       int64
+
+	// PM traffic.
+	MediaWrites int64 // write requests reaching the PM physical media (post on-PM-buffer coalescing and DCW)
+	MediaBytes  int64 // bytes actually programmed into the media
+	WPQWrites   int64 // requests entering the memory controller WPQ
+	WPQBytes    int64
+	PMReads     int64
+
+	// Logging behaviour.
+	LogEntriesCreated int64 // entries the log generator produced
+	LogEntriesIgnored int64 // suppressed by log ignorance (old == new)
+	LogEntriesMerged  int64 // absorbed by on-chip merging
+	LogEntriesFlushed int64 // written to the PM log region (overflow or crash)
+	LogOverflows      int64 // overflow events
+	FlushBitSets      int64 // logs whose new data was discarded due to cacheline eviction
+
+	// Ordering-constraint breakdown (§II-D): cycles the cores spent
+	// stalled in the design's hooks, beyond the plain cache accesses.
+	StoreStallCycles  int64 // per-store persists (Base, FWB, SWLog)
+	CommitStallCycles int64 // commit-time waits (all designs)
+
+	// Cache behaviour.
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	L3Hits, L3Misses int64
+	Writebacks       int64 // dirty lines evicted from the LLC to the MC
+}
+
+// Throughput returns committed transactions per million cycles.
+func (r Run) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Transactions) / float64(r.Cycles) * 1e6
+}
+
+// WriteBytesPerTx returns average bytes written per transaction (workload
+// write-set size, Fig. 4).
+func (r Run) WriteBytesPerTx() float64 {
+	if r.Transactions == 0 {
+		return 0
+	}
+	return float64(r.Stores) * 8 / float64(r.Transactions)
+}
+
+// Normalize divides each value by base; base == 0 yields zeros.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive values (the paper's
+// "Average" bars); non-positive entries are skipped.
+func GeoMean(values []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range values {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table is a simple fixed-width text table, used by the harness to print
+// each reproduced figure as rows/series.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloats appends a row with a string label followed by formatted floats.
+func (t *Table) AddFloats(label string, format string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map, for stable
+// iteration in reports.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

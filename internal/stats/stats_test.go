@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := Run{Cycles: 2_000_000, Transactions: 1000, Stores: 8000}
+	if got := r.Throughput(); got != 500 {
+		t.Errorf("throughput = %v, want 500", got)
+	}
+	if got := r.WriteBytesPerTx(); got != 64 {
+		t.Errorf("bytes/tx = %v, want 64", got)
+	}
+	var zero Run
+	if zero.Throughput() != 0 || zero.WriteBytesPerTx() != 0 {
+		t.Error("zero run must not divide by zero")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8}, 2)
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("normalize[%d] = %v", i, got[i])
+		}
+	}
+	if z := Normalize([]float64{1, 2}, 0); z[0] != 0 || z[1] != 0 {
+		t.Error("zero base must yield zeros")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("geomean(3,3,3) = %v", got)
+	}
+	// Non-positive entries are skipped; all-non-positive gives 0.
+	if got := GeoMean([]float64{0, -1, 8, 2}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean skipping nonpositive = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Error("empty geomean")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "A", "BB")
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z", "dropped")
+	tb.AddFloats("f", "%.1f", 1.25)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "longer") || !strings.Contains(out, "1.2") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every row has the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("row wider than header:\n%s", out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sorted keys = %v", got)
+	}
+}

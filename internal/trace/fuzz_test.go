@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace parser: it must never panic,
+// and everything it accepts must survive a write-read roundtrip.
+func FuzzRead(f *testing.F) {
+	f.Add("B 0\nS 0 100 7\nL 0 100\nE 0\nC 0 10\n")
+	f.Add("# comment\n\nB 1\n")
+	f.Add("S 0 zz 7\n")
+	f.Add("X\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted traces re-serialize and re-parse to the same streams.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for core, ops := range tr.PerCore {
+			for _, op := range ops {
+				w.Op(core, op)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized trace failed: %v", err)
+		}
+		if tr.Ops() != tr2.Ops() || tr.Transactions() != tr2.Transactions() {
+			t.Fatalf("roundtrip changed the trace: %d/%d ops, %d/%d txns",
+				tr.Ops(), tr2.Ops(), tr.Transactions(), tr2.Transactions())
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+
+	"silo/internal/mem"
+	"silo/internal/pmds"
+	"silo/internal/pmheap"
+	"silo/internal/sim"
+)
+
+// BPtreeWL drives the FAST&FAIR-style B+-tree: random inserts with an
+// occasional short range scan, the access pattern of a PM index serving
+// an OLTP secondary index.
+type BPtreeWL struct {
+	TxShape
+	keyRange int
+	preload  int
+	trees    []*pmds.BPTree
+}
+
+// NewBPtree builds the B+-tree workload.
+func NewBPtree(keyRange, preload int) *BPtreeWL {
+	return &BPtreeWL{keyRange: keyRange, preload: preload}
+}
+
+// Name implements Workload.
+func (w *BPtreeWL) Name() string { return "BPtree" }
+
+// Setup implements Workload.
+func (w *BPtreeWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.trees = w.trees[:0]
+	for c := 0; c < cores; c++ {
+		t := pmds.NewBPTree(direct, heap, c)
+		for i := 0; i < w.preload; i++ {
+			k := mem.Word(rng.Intn(w.keyRange)) + 1
+			t.Insert(direct, k, k*2)
+		}
+		w.trees = append(w.trees, t)
+	}
+}
+
+// Program implements Workload.
+func (w *BPtreeWL) Program(core, txns int) sim.Program {
+	t := w.trees[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				k := mem.Word(ctx.Rand.Intn(w.keyRange)) + 1
+				switch p := ctx.Rand.Intn(100); {
+				case p < 70:
+					t.Insert(ctx, k, k*2)
+				case p < 85:
+					t.Delete(ctx, k)
+				default:
+					t.Scan(ctx, k, 8, func(mem.Word, mem.Word) {})
+				}
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// LevelHashWL drives the two-level write-optimized hash with churn.
+type LevelHashWL struct {
+	TxShape
+	topBuckets int
+	keySpan    int64
+	preload    int
+	tables     []*pmds.LevelHash
+}
+
+// NewLevelHash builds the level-hashing workload.
+func NewLevelHash(topBuckets, preload int, keySpan int64) *LevelHashWL {
+	return &LevelHashWL{topBuckets: topBuckets, preload: preload, keySpan: keySpan}
+}
+
+// Name implements Workload.
+func (w *LevelHashWL) Name() string { return "LevelHash" }
+
+// Setup implements Workload.
+func (w *LevelHashWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.tables = w.tables[:0]
+	for c := 0; c < cores; c++ {
+		h := pmds.NewLevelHash(heap, c, w.topBuckets)
+		for i := 0; i < w.preload; i++ {
+			h.Insert(direct, mem.Word(rng.Int63n(w.keySpan))+1, mem.Word(i))
+		}
+		w.tables = append(w.tables, h)
+	}
+}
+
+// Program implements Workload: insert/delete churn keeps the load steady
+// below the movement ceiling so inserts stay one-movement-bounded.
+func (w *LevelHashWL) Program(core, txns int) sim.Program {
+	h := w.tables[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				k := mem.Word(ctx.Rand.Int63n(w.keySpan)) + 1
+				switch p := ctx.Rand.Intn(100); {
+				case p < 45:
+					h.Insert(ctx, k, mem.Word(i))
+				case p < 80:
+					h.Delete(ctx, k)
+				default:
+					h.Get(ctx, k)
+				}
+			}
+			ctx.TxEnd()
+		}
+	}
+}

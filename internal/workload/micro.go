@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"math/rand"
+
+	"silo/internal/mem"
+	"silo/internal/pmds"
+	"silo/internal/pmheap"
+	"silo/internal/sim"
+)
+
+// ArrayWL randomly swaps two 64 B elements per transaction (Table III).
+type ArrayWL struct {
+	TxShape
+	n    int
+	arrs []*pmds.Array
+}
+
+// NewArray builds the Array workload with n elements per core.
+func NewArray(n int) *ArrayWL { return &ArrayWL{n: n} }
+
+// Name implements Workload.
+func (w *ArrayWL) Name() string { return "Array" }
+
+// Setup implements Workload.
+func (w *ArrayWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.arrs = w.arrs[:0]
+	for c := 0; c < cores; c++ {
+		w.arrs = append(w.arrs, pmds.NewArray(direct, heap, c, w.n))
+	}
+}
+
+// Program implements Workload.
+func (w *ArrayWL) Program(core, txns int) sim.Program {
+	arr := w.arrs[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				a := ctx.Rand.Intn(w.n)
+				b := ctx.Rand.Intn(w.n)
+				arr.Swap(ctx, a, b)
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// BtreeWL randomly inserts keys into a per-core B-tree.
+type BtreeWL struct {
+	TxShape
+	keyRange int
+	preload  int
+	trees    []*pmds.BTree
+}
+
+// NewBtree builds the Btree workload: keys uniform in [1, keyRange],
+// preload keys inserted during setup.
+func NewBtree(keyRange, preload int) *BtreeWL {
+	return &BtreeWL{keyRange: keyRange, preload: preload}
+}
+
+// Name implements Workload.
+func (w *BtreeWL) Name() string { return "Btree" }
+
+// Setup implements Workload.
+func (w *BtreeWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.trees = w.trees[:0]
+	for c := 0; c < cores; c++ {
+		t := pmds.NewBTree(direct, heap, c)
+		for i := 0; i < w.preload; i++ {
+			t.Insert(direct, mem.Word(rng.Intn(w.keyRange))+1)
+		}
+		w.trees = append(w.trees, t)
+	}
+}
+
+// Program implements Workload.
+func (w *BtreeWL) Program(core, txns int) sim.Program {
+	t := w.trees[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				t.Insert(ctx, mem.Word(ctx.Rand.Intn(w.keyRange))+1)
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// HashWL randomly inserts key/value items into a per-core hash table.
+type HashWL struct {
+	TxShape
+	buckets int
+	preload int
+	tables  []*pmds.HashTable
+}
+
+// NewHash builds the Hash workload.
+func NewHash(buckets, preload int) *HashWL {
+	return &HashWL{buckets: buckets, preload: preload}
+}
+
+// Name implements Workload.
+func (w *HashWL) Name() string { return "Hash" }
+
+// Setup implements Workload.
+func (w *HashWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.tables = w.tables[:0]
+	for c := 0; c < cores; c++ {
+		h := pmds.NewHashTable(heap, c, w.buckets)
+		for i := 0; i < w.preload; i++ {
+			h.Put(direct, mem.Word(rng.Int63n(1<<40))+1, mem.Word(i))
+		}
+		w.tables = append(w.tables, h)
+	}
+}
+
+// Program implements Workload.
+func (w *HashWL) Program(core, txns int) sim.Program {
+	h := w.tables[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				h.Put(ctx, mem.Word(ctx.Rand.Int63n(1<<40))+1, mem.Word(i))
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// QueueWL enqueues and dequeues one element per transaction.
+type QueueWL struct {
+	TxShape
+	capacity int
+	preload  int
+	queues   []*pmds.Queue
+}
+
+// NewQueue builds the Queue workload.
+func NewQueue(capacity, preload int) *QueueWL {
+	return &QueueWL{capacity: capacity, preload: preload}
+}
+
+// Name implements Workload.
+func (w *QueueWL) Name() string { return "Queue" }
+
+// Setup implements Workload.
+func (w *QueueWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.queues = w.queues[:0]
+	for c := 0; c < cores; c++ {
+		q := pmds.NewQueue(direct, heap, c, w.capacity)
+		for i := 0; i < w.preload; i++ {
+			q.Enqueue(direct, mem.Word(rng.Int63()))
+		}
+		w.queues = append(w.queues, q)
+	}
+}
+
+// Program implements Workload.
+func (w *QueueWL) Program(core, txns int) sim.Program {
+	q := w.queues[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				q.Enqueue(ctx, mem.Word(ctx.Rand.Int63()))
+				q.Dequeue(ctx)
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// RBtreeWL randomly inserts keys into a per-core red-black tree.
+type RBtreeWL struct {
+	TxShape
+	keyRange int
+	preload  int
+	trees    []*pmds.RBTree
+}
+
+// NewRBtree builds the RBtree workload.
+func NewRBtree(keyRange, preload int) *RBtreeWL {
+	return &RBtreeWL{keyRange: keyRange, preload: preload}
+}
+
+// Name implements Workload.
+func (w *RBtreeWL) Name() string { return "RBtree" }
+
+// Setup implements Workload.
+func (w *RBtreeWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.trees = w.trees[:0]
+	for c := 0; c < cores; c++ {
+		t := pmds.NewRBTree(direct, heap, c)
+		for i := 0; i < w.preload; i++ {
+			k := mem.Word(rng.Intn(w.keyRange)) + 1
+			t.Insert(direct, k, k*3)
+		}
+		w.trees = append(w.trees, t)
+	}
+}
+
+// Program implements Workload.
+func (w *RBtreeWL) Program(core, txns int) sim.Program {
+	t := w.trees[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				k := mem.Word(ctx.Rand.Intn(w.keyRange)) + 1
+				t.Insert(ctx, k, k*3)
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// RtreeWL inserts into the PMDK-style radix tree (Fig. 4).
+type RtreeWL struct {
+	TxShape
+	keyBits int
+	trees   []*pmds.RadixTree
+}
+
+// NewRtree builds the Rtree workload over keyBits-bit keys.
+func NewRtree(keyBits int) *RtreeWL { return &RtreeWL{keyBits: keyBits} }
+
+// Name implements Workload.
+func (w *RtreeWL) Name() string { return "Rtree" }
+
+// Setup implements Workload.
+func (w *RtreeWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.trees = w.trees[:0]
+	for c := 0; c < cores; c++ {
+		t := pmds.NewRadixTree(direct, heap, c, w.keyBits)
+		for i := 0; i < 1000; i++ {
+			k := mem.Word(rng.Intn(1 << w.keyBits))
+			t.Insert(direct, k, k+7)
+		}
+		w.trees = append(w.trees, t)
+	}
+}
+
+// Program implements Workload.
+func (w *RtreeWL) Program(core, txns int) sim.Program {
+	t := w.trees[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				k := mem.Word(ctx.Rand.Intn(1 << w.keyBits))
+				t.Insert(ctx, k, k+7)
+			}
+			ctx.TxEnd()
+		}
+	}
+}
+
+// CtrieWL inserts into the PMDK-style crit-bit trie (Fig. 4).
+type CtrieWL struct {
+	TxShape
+	keyRange int64
+	tries    []*pmds.CritBitTrie
+}
+
+// NewCtrie builds the Ctrie workload with keys uniform in [1, keyRange].
+func NewCtrie(keyRange int64) *CtrieWL { return &CtrieWL{keyRange: keyRange} }
+
+// Name implements Workload.
+func (w *CtrieWL) Name() string { return "Ctrie" }
+
+// Setup implements Workload.
+func (w *CtrieWL) Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand) {
+	w.tries = w.tries[:0]
+	for c := 0; c < cores; c++ {
+		t := pmds.NewCritBitTrie(direct, heap, c)
+		for i := 0; i < 1000; i++ {
+			k := mem.Word(rng.Int63n(w.keyRange)) + 1
+			t.Insert(direct, k, k^0xFF)
+		}
+		w.tries = append(w.tries, t)
+	}
+}
+
+// Program implements Workload.
+func (w *CtrieWL) Program(core, txns int) sim.Program {
+	t := w.tries[core]
+	return func(ctx *sim.Ctx) {
+		for i := 0; i < txns; i++ {
+			ctx.TxBegin()
+			for j := 0; j < w.OpsPerTx(); j++ {
+				k := mem.Word(ctx.Rand.Int63n(w.keyRange)) + 1
+				t.Insert(ctx, k, k^0xFF)
+			}
+			ctx.TxEnd()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package silo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRunAPI(t *testing.T) {
+	r, err := Run(Config{Design: "Silo", Workload: "Btree", Cores: 2, Transactions: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transactions != 200 {
+		t.Errorf("transactions = %d", r.Transactions)
+	}
+	if len(Designs()) != 5 || len(Workloads()) != 7 {
+		t.Error("registry lists wrong")
+	}
+	if _, err := Run(Config{Design: "X", Workload: "Btree"}); err == nil {
+		t.Error("bad design accepted")
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	r, err := Run(Config{Design: "Silo", Workload: "Queue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Transactions == 0 || r.Cores != 1 {
+		t.Errorf("defaults not applied: %+v", r)
+	}
+}
+
+func TestSameSeedSameRun(t *testing.T) {
+	cfg := Config{Design: "MorLog", Workload: "YCSB", Cores: 2, Transactions: 300, Seed: 17}
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a != b {
+		t.Error("same seed produced different runs")
+	}
+}
+
+// TestAtomicDurabilityAllDesigns is the central correctness property of
+// the reproduction: for every design, workload and crash point, the
+// recovered PM data region contains exactly the committed transactions'
+// updates — all of them, and nothing from uncommitted transactions.
+func TestAtomicDurabilityAllDesigns(t *testing.T) {
+	crashPoints := []int64{120, 900, 4321, 17000}
+	for _, d := range ExtendedDesigns() {
+		for _, wl := range []string{"Btree", "Hash", "Queue"} {
+			for _, at := range crashPoints {
+				d, wl, at := d, wl, at
+				t.Run(fmt.Sprintf("%s/%s/op%d", d, wl, at), func(t *testing.T) {
+					rep, err := RunWithCrash(Config{
+						Design: d, Workload: wl, Cores: 2, Transactions: 1200, Seed: 99,
+					}, at)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.Ok() {
+						t.Fatalf("atomic durability violated (%d mismatches, committed=%d): %v",
+							len(rep.Mismatches), rep.CommittedBeforeCrash, firstN(rep.Mismatches, 3))
+					}
+					if at > 1000 && rep.WordsChecked == 0 {
+						t.Error("verification checked nothing")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAtomicDurabilityRandomizedSilo fuzzes crash points and seeds on the
+// Silo design specifically, including multi-op transactions that overflow
+// the log buffer.
+func TestAtomicDurabilityRandomizedSilo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		seed := rng.Int63n(1 << 30)
+		at := rng.Int63n(30000) + 10
+		ops := 1 + rng.Intn(4) // up to ~4x write sets: overflow exercised
+		wl := []string{"Btree", "Hash", "Queue", "RBtree", "Array", "TPCC",
+			"HashMix", "RBtreeMix", "BPtree", "LevelHash"}[rng.Intn(10)]
+		cores := 1 + rng.Intn(3)
+		rep, err := RunWithCrash(Config{
+			Design: "Silo", Workload: wl, Cores: cores,
+			Transactions: 2000, Seed: seed, OpsPerTx: ops,
+		}, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("case %d (wl=%s seed=%d at=%d ops=%d cores=%d): %d mismatches: %v",
+				i, wl, seed, at, ops, cores, len(rep.Mismatches), firstN(rep.Mismatches, 3))
+		}
+	}
+}
+
+// TestAtomicDurabilitySiloAblations: correctness must hold with every
+// ablation switch (the switches trade performance, never safety).
+func TestAtomicDurabilitySiloAblations(t *testing.T) {
+	opts := []SiloOptions{
+		{DisableMerge: true},
+		{DisableIgnore: true},
+		{SingleEntryOverflow: true},
+		{DisableMerge: true, DisableIgnore: true, SingleEntryOverflow: true},
+	}
+	for i, o := range opts {
+		for _, at := range []int64{500, 6000} {
+			rep, err := RunWithCrash(Config{
+				Design: "Silo", Workload: "Hash", Cores: 2,
+				Transactions: 1500, Seed: 7, OpsPerTx: 3, Silo: o,
+			}, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				t.Errorf("ablation %d at op %d: %v", i, at, firstN(rep.Mismatches, 3))
+			}
+		}
+	}
+}
+
+// TestCrashDuringOverflowHeavyRun drives write sets far beyond the log
+// buffer (§III-F path) and crashes mid-stream.
+func TestCrashDuringOverflowHeavyRun(t *testing.T) {
+	for _, at := range []int64{300, 2500, 9000} {
+		rep, err := RunWithCrash(Config{
+			Design: "Silo", Workload: "Sweep160", Cores: 1,
+			Transactions: 300, Seed: 5,
+		}, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			t.Fatalf("overflow crash at %d: %v", at, firstN(rep.Mismatches, 3))
+		}
+	}
+}
+
+// TestCrashAfterCompletionIsNoop: crashing after the workload finished
+// must find everything durable with no recovery work for Silo beyond
+// possibly the final pending transaction.
+func TestCrashAfterCompletion(t *testing.T) {
+	rep, err := RunWithCrash(Config{
+		Design: "Silo", Workload: "Bank", Cores: 1, Transactions: 100, Seed: 1,
+	}, 1<<40) // never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommittedBeforeCrash != 100 {
+		t.Errorf("committed = %d", rep.CommittedBeforeCrash)
+	}
+	if !rep.Ok() {
+		t.Errorf("clean completion not durable: %v", firstN(rep.Mismatches, 3))
+	}
+}
+
+// TestPaperHeadlineShape asserts the qualitative result of Figs. 11–12 at
+// the API level: Silo beats every baseline on throughput and ties-or-beats
+// LAD on media writes, on a representative workload.
+func TestPaperHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-design comparison is slow")
+	}
+	results := map[string]Result{}
+	for _, d := range Designs() {
+		r, err := Run(Config{Design: d, Workload: "Btree", Cores: 4, Transactions: 2000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[d] = r
+	}
+	order := []string{"Base", "FWB", "MorLog", "LAD", "Silo"}
+	for i := 0; i+1 < len(order); i++ {
+		lo, hi := results[order[i]], results[order[i+1]]
+		if hi.Throughput() <= lo.Throughput() {
+			t.Errorf("throughput order violated: %s (%.1f) >= %s (%.1f)",
+				order[i], lo.Throughput(), order[i+1], hi.Throughput())
+		}
+	}
+	if results["Silo"].MediaWrites >= results["MorLog"].MediaWrites {
+		t.Error("Silo should write less than MorLog")
+	}
+}
+
+func firstN(s []string, n int) []string {
+	if len(s) < n {
+		return s
+	}
+	return s[:n]
+}
+
+// TestRecordReplayPublicAPI: the public trace API reproduces a run
+// bit-exactly under the recording design.
+func TestRecordReplayPublicAPI(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Design: "Silo", Workload: "Queue", Cores: 2, Transactions: 400, Seed: 9}
+	orig, err := RecordTrace(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != orig.Cycles || rep.MediaWrites != orig.MediaWrites || rep.Transactions != orig.Transactions {
+		t.Errorf("replay diverged: cycles %d/%d media %d/%d",
+			rep.Cycles, orig.Cycles, rep.MediaWrites, orig.MediaWrites)
+	}
+	// Replay under a different design keeps the op stream.
+	cfg.Design = "LAD"
+	lad, err := Replay(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lad.Stores != orig.Stores {
+		t.Error("cross-design replay changed the op stream")
+	}
+	// Malformed traces are rejected.
+	if _, err := Replay(cfg, bytes.NewReader([]byte("garbage\n"))); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}
+
+// TestPMLifetimeMonotone: more media bytes at equal time = shorter life.
+func TestPMLifetimeMonotone(t *testing.T) {
+	a := Result{MediaBytes: 1 << 20, Cycles: 1 << 30}
+	b := Result{MediaBytes: 4 << 20, Cycles: 1 << 30}
+	if PMLifetimeYears(a) <= PMLifetimeYears(b) {
+		t.Error("lifetime not monotone in write volume")
+	}
+}
