@@ -1,0 +1,124 @@
+// Command silo-torture runs crash-storm fault-injection campaigns:
+// every campaign picks a (design, workload) pair and a seeded crash
+// schedule — an op-, cycle-, commit-window- or overflow-triggered power
+// failure, a bounded crash-flush energy budget that can tear the last
+// record at word granularity, and optional mid-recovery re-crashes —
+// then recovers and verifies every transactional word against the
+// machine's golden committed shadow.
+//
+// Sweep mode:
+//
+//	silo-torture -seed 1 -campaigns 200 -designs Base,FWB,MorLog,LAD,Silo
+//
+// Repro mode (replay one schedule, e.g. from a failure's repro line):
+//
+//	silo-torture -designs Silo -workloads Hash -cores 2 -txns 48 \
+//	    -seed 12345 -plan "trigger=commit,at=3,budget=64,tear=1,recrash=5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silo/internal/fault"
+	"silo/internal/harness"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "sweep seed: campaign schedules derive from it deterministically")
+		campaigns = flag.Int("campaigns", 200, "number of campaigns")
+		offset    = flag.Int("offset", 0, "first campaign index (repro campaign k alone: -offset k -campaigns 1)")
+		designs   = flag.String("designs", strings.Join(harness.DesignNames(), ","), "comma-separated designs")
+		workloads = flag.String("workloads", "Array,Hash,TPCC", "comma-separated workloads")
+		cores     = flag.Int("cores", 2, "simulated cores per campaign")
+		txns      = flag.Int("txns", 48, "transaction target per campaign")
+		strict    = flag.Bool("strict", false, "admit beyond-spec battery faults (commit tuples and undo logs can be lost; mismatches expected)")
+		flips     = flag.Bool("flips", false, "admit log media bit flips (detected by CRCs, but data loss possible)")
+		shrink    = flag.Bool("shrink", true, "shrink failing campaigns to minimal reproducers")
+		planStr   = flag.String("plan", "", "replay exactly this crash schedule instead of deriving one per campaign")
+	)
+	flag.Parse()
+
+	if len(splitCSV(*designs)) == 0 {
+		*designs = strings.Join(harness.DesignNames(), ",")
+	}
+	if len(splitCSV(*workloads)) == 0 {
+		*workloads = "Array,Hash,TPCC"
+	}
+	cfg := harness.TortureConfig{
+		Seed:          *seed,
+		Campaigns:     *campaigns,
+		Offset:        *offset,
+		Designs:       splitCSV(*designs),
+		Workloads:     splitCSV(*workloads),
+		Cores:         *cores,
+		Txns:          *txns,
+		AllowStrict:   *strict,
+		AllowBitFlips: *flips,
+		Shrink:        *shrink,
+	}
+
+	if *planStr != "" {
+		plan, err := fault.ParsePlan(*planStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silo-torture:", err)
+			os.Exit(2)
+		}
+		if plan.Seed == 0 {
+			plan.Seed = *seed
+		}
+		c := harness.Campaign{Spec: harness.Spec{
+			Design:   cfg.Designs[0],
+			Workload: cfg.Workloads[0],
+			Cores:    cfg.Cores,
+			Txns:     cfg.Txns,
+			Seed:     *seed,
+		}, Plan: plan}
+		out := harness.RunCampaign(c)
+		fmt.Printf("campaign: %s on %s, plan %s\n", c.Spec.Design, c.Spec.Workload, plan.String())
+		fmt.Printf("  crashed mid-run: %v, committed: %d\n", out.MidRun, out.Commits)
+		fmt.Printf("  recovery: %d tx, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d re-crashes\n",
+			out.Report.CommittedTx, out.Report.RedoApplied, out.Report.UndoApplied,
+			out.Report.Quarantined, out.Torn, out.Dropped, out.Restarts)
+		if out.Err != nil {
+			fmt.Fprintln(os.Stderr, "silo-torture:", out.Err)
+			os.Exit(1)
+		}
+		if len(out.Mismatches) == 0 {
+			fmt.Println("  atomic durability HELD")
+			return
+		}
+		fmt.Printf("  atomic durability VIOLATED: %d mismatches\n", len(out.Mismatches))
+		for i, m := range out.Mismatches {
+			if i == 10 {
+				fmt.Println("    ...")
+				break
+			}
+			fmt.Println("   ", m)
+		}
+		os.Exit(1)
+	}
+
+	res, err := harness.Torture(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-torture:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Summary())
+	if !res.Ok() {
+		os.Exit(1)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -24,6 +24,7 @@ type EADRSW struct {
 	inTx    []bool
 	txid    []uint16
 	logHead []mem.Addr // per-core append cursor inside the thread log area
+	logSeq  []uint8    // per-core record sequence number (on-media seal)
 	logs    int64
 }
 
@@ -33,9 +34,10 @@ var _ logging.CachePersistor = (*EADRSW)(nil)
 // NewEADRSW builds the eADR software-logging design.
 func NewEADRSW(env *logging.Env) logging.Design {
 	e := &EADRSW{
-		env:  env,
-		inTx: make([]bool, env.Cores),
-		txid: make([]uint16, env.Cores),
+		env:    env,
+		inTx:   make([]bool, env.Cores),
+		txid:   make([]uint16, env.Cores),
+		logSeq: make([]uint8, env.Cores),
 	}
 	for i := 0; i < env.Cores; i++ {
 		base, _ := env.PM.Config().Layout.ThreadLogArea(i, env.Cores)
@@ -69,8 +71,9 @@ func (e *EADRSW) Store(core int, addr mem.Addr, old, new mem.Word, now sim.Cycle
 		Kind: logging.ImageUndoRedo, TID: uint8(core), TxID: e.txid[core],
 		Addr: addr.Word(), Data: old, Data2: new,
 	}
-	var buf [logging.UndoRedoBytes]byte
-	n := im.Encode(buf[:])
+	var buf [logging.MaxSealedBytes]byte
+	n := im.Seal(buf[:], e.logSeq[core])
+	e.logSeq[core]++
 	stall := SWLogInsOverhead + e.appendCached(core, buf[:n], now)
 	e.logs++
 	return stall
@@ -79,8 +82,9 @@ func (e *EADRSW) Store(core int, addr mem.Addr, old, new mem.Word, now sim.Cycle
 // TxEnd appends the commit marker — a single cached record, no fences.
 func (e *EADRSW) TxEnd(core int, now sim.Cycle) sim.Cycle {
 	e.inTx[core] = false
-	var buf [logging.CommitBytes]byte
-	n := logging.CommitImage(uint8(core), e.txid[core]).Encode(buf[:])
+	var buf [logging.CommitBytes + logging.SealBytes]byte
+	n := logging.CommitImage(uint8(core), e.txid[core]).Seal(buf[:], e.logSeq[core])
+	e.logSeq[core]++
 	return e.appendCached(core, buf[:n], now)
 }
 

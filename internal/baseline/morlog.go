@@ -132,7 +132,10 @@ func (m *MorLog) CachelineEvicted(now sim.Cycle, la mem.Addr, data [mem.LineSize
 }
 
 // Crash flushes the staged entries of in-flight transactions through
-// MorLog's ADR persist buffer so recovery can revoke their partial updates.
+// MorLog's ADR persist buffer so recovery can revoke their partial
+// updates. The records carry undo halves recovery cannot be correct
+// without (evicted lines of the in-flight transaction), so they belong
+// to the battery's guaranteed must-flush set (critical).
 func (m *MorLog) Crash(now sim.Cycle) {
 	for c := range m.bufs {
 		if !m.inTx[c] {
@@ -145,7 +148,7 @@ func (m *MorLog) Crash(now sim.Cycle) {
 				Addr: e.Addr, Data: e.Old, Data2: e.New,
 			})
 		}
-		m.env.Region.AppendAtCrash(c, images)
+		m.env.Region.AppendAtCrashCritical(c, images)
 	}
 }
 

@@ -284,6 +284,15 @@ func (s *Silo) CachelineEvicted(now sim.Cycle, la mem.Addr, data [mem.LineSize]b
 // plus an ID tuple for committed transactions whose in-place updates were
 // still pending (durability). Flush-bit-1 entries contribute no redo —
 // their data already reached PM via cacheline eviction.
+//
+// The flush order is robustness-critical under a bounded energy budget:
+// the commit ID tuple goes out *first*, because recovery's checked scan
+// stops at the first torn record — a tuple behind a torn redo suffix
+// would be invisible, and the transaction's overflowed flush-bit-1 undo
+// logs would wrongly revoke committed data. The tuple and all undo logs
+// are the must-flush set the battery reserve guarantees (critical); the
+// redo stream may tear, which recovery tolerates because WPQ-accepted
+// in-place updates are already durable under ADR.
 func (s *Silo) Crash(now sim.Cycle) {
 	for c := range s.cores {
 		st := &s.cores[c]
@@ -293,18 +302,19 @@ func (s *Silo) Crash(now sim.Cycle) {
 			for _, e := range st.buf.Entries() {
 				images = append(images, e.UndoImage())
 			}
-			s.env.Region.AppendAtCrash(c, images)
+			s.env.Region.AppendAtCrashCritical(c, images)
 			s.crashFlushedImages += int64(len(images))
 		case st.pending:
+			s.env.Region.AppendAtCrashCritical(c,
+				[]logging.Image{logging.CommitImage(uint8(c), st.txid)})
 			var images []logging.Image
 			for _, e := range st.buf.Entries() {
 				if !e.FlushBit {
 					images = append(images, e.RedoImage())
 				}
 			}
-			images = append(images, logging.CommitImage(uint8(c), st.txid))
 			s.env.Region.AppendAtCrash(c, images)
-			s.crashFlushedImages += int64(len(images))
+			s.crashFlushedImages += int64(len(images)) + 1
 		}
 	}
 }

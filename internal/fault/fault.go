@@ -1,0 +1,279 @@
+// Package fault describes adversarial crash schedules for the simulated
+// machine: *when* the power fails (an op count, a cycle, mid-commit
+// window, mid-overflow eviction), *how much* of the battery-backed
+// selective flush survives (a byte budget that can tear the last record
+// at word granularity), and which media faults strike the log (bit
+// flips). A Plan is pure data, derived deterministically from a seed, so
+// any failing schedule the torture harness finds is replayable from its
+// parameters alone.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"silo/internal/logging"
+	"silo/internal/mem"
+	"silo/internal/pm"
+	"silo/internal/sim"
+)
+
+// Trigger selects what event fires the crash.
+type Trigger uint8
+
+const (
+	// TriggerNone: no crash (the plan may still shape an end-of-run
+	// crash's flush budget).
+	TriggerNone Trigger = iota
+	// TriggerOp crashes when the machine's op counter reaches AtOp.
+	TriggerOp
+	// TriggerCycle crashes at the first scheduling point at or after
+	// simulated cycle AtCycle — op boundaries no longer quantize the
+	// crash point across designs, because the same cycle lands inside
+	// different operations under different timings.
+	TriggerCycle
+	// TriggerCommit crashes at the first operation after the
+	// AfterCommits-th transaction commit — inside the commit window,
+	// while the committed transaction's in-place updates still sit in
+	// the WPQ and its buffer is pending deallocation (§III-D).
+	TriggerCommit
+	// TriggerOverflow crashes at the first operation after the
+	// AfterAppends-th run-time log-region append — for Silo that is
+	// mid-overflow-eviction (§III-F), for the log-as-backup baselines
+	// mid-log-write.
+	TriggerOverflow
+)
+
+func (t Trigger) String() string {
+	switch t {
+	case TriggerNone:
+		return "none"
+	case TriggerOp:
+		return "op"
+	case TriggerCycle:
+		return "cycle"
+	case TriggerCommit:
+		return "commit"
+	case TriggerOverflow:
+		return "overflow"
+	}
+	return "invalid"
+}
+
+// ParseTrigger is the inverse of Trigger.String.
+func ParseTrigger(s string) (Trigger, error) {
+	for _, t := range []Trigger{TriggerNone, TriggerOp, TriggerCycle, TriggerCommit, TriggerOverflow} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return TriggerNone, fmt.Errorf("fault: unknown trigger %q", s)
+}
+
+// Plan is one deterministic crash schedule.
+type Plan struct {
+	// Seed drives the plan's own randomness (bit-flip positions).
+	Seed int64
+
+	Trigger Trigger
+	// AtOp is the op counter value for TriggerOp.
+	AtOp int64
+	// AtCycle is the simulated time for TriggerCycle.
+	AtCycle sim.Cycle
+	// AfterCommits is the commit count for TriggerCommit.
+	AfterCommits int64
+	// AfterAppends is the run-time log append count for TriggerOverflow.
+	AfterAppends int64
+
+	// FlushBudget bounds the crash flush to this many bytes (0 =
+	// unlimited, a correctly-provisioned battery).
+	FlushBudget int
+	// TearWords lets the budget cut the last record at 8-byte-word
+	// granularity instead of dropping it whole.
+	TearWords bool
+	// StrictBudget makes even critical records (commit ID tuples, undo
+	// logs) draw from the budget — a battery failed below its Table IV
+	// sizing. Recovery can then legitimately lose committed work, so
+	// strict plans are for detection tests, not zero-mismatch campaigns.
+	StrictBudget bool
+
+	// BitFlips flips this many random bits across the used log areas
+	// after the crash flush — media faults the record CRCs must catch.
+	BitFlips int
+
+	// RecrashEvery, when > 0, crashes recovery itself after every this
+	// many applied words; the harness then restarts recovery, proving
+	// idempotence.
+	RecrashEvery int
+}
+
+// Active reports whether the plan fires a mid-run crash.
+func (p *Plan) Active() bool { return p != nil && p.Trigger != TriggerNone }
+
+// String renders the plan as the key=value list ParsePlan accepts.
+func (p Plan) String() string {
+	parts := []string{"trigger=" + p.Trigger.String()}
+	add := func(k string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	switch p.Trigger {
+	case TriggerOp:
+		add("at", p.AtOp)
+	case TriggerCycle:
+		add("at", int64(p.AtCycle))
+	case TriggerCommit:
+		add("at", p.AfterCommits)
+	case TriggerOverflow:
+		add("at", p.AfterAppends)
+	}
+	add("budget", int64(p.FlushBudget))
+	if p.TearWords {
+		parts = append(parts, "tear=1")
+	}
+	if p.StrictBudget {
+		parts = append(parts, "strict=1")
+	}
+	add("flips", int64(p.BitFlips))
+	add("recrash", int64(p.RecrashEvery))
+	add("seed", p.Seed)
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the comma-separated key=value form of String.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("fault: bad plan field %q", kv)
+		}
+		if k == "trigger" {
+			t, err := ParseTrigger(v)
+			if err != nil {
+				return p, err
+			}
+			p.Trigger = t
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("fault: bad plan value %q: %v", kv, err)
+		}
+		switch k {
+		case "at":
+			p.AtOp, p.AtCycle = n, sim.Cycle(n)
+			p.AfterCommits, p.AfterAppends = n, n
+		case "budget":
+			p.FlushBudget = int(n)
+		case "tear":
+			p.TearWords = n != 0
+		case "strict":
+			p.StrictBudget = n != 0
+		case "flips":
+			p.BitFlips = int(n)
+		case "recrash":
+			p.RecrashEvery = int(n)
+		case "seed":
+			p.Seed = n
+		default:
+			return p, fmt.Errorf("fault: unknown plan field %q", k)
+		}
+	}
+	return p, nil
+}
+
+// Random derives a crash schedule from rng, scaled to a run of roughly
+// totalOps operations. allowStrict/allowFlips gate the beyond-spec fault
+// classes that can legitimately lose committed work (they break the
+// zero-mismatch guarantee, so campaigns keep them off by default).
+func Random(rng *rand.Rand, totalOps int64, allowStrict, allowFlips bool) Plan {
+	if totalOps < 4 {
+		totalOps = 4
+	}
+	p := Plan{Seed: rng.Int63()}
+	switch rng.Intn(5) {
+	case 0:
+		p.Trigger = TriggerOp
+		p.AtOp = 1 + rng.Int63n(totalOps)
+	case 1:
+		// Ops take ~1–300 cycles; an op-scaled cycle count lands the
+		// crash anywhere from the warm-up to past the end of the run.
+		p.Trigger = TriggerCycle
+		p.AtCycle = sim.Cycle(1 + rng.Int63n(totalOps*40))
+	case 2:
+		p.Trigger = TriggerCommit
+		p.AfterCommits = 1 + rng.Int63n(totalOps/4+1)
+	case 3:
+		p.Trigger = TriggerOverflow
+		p.AfterAppends = 1 + rng.Int63n(64)
+	default:
+		p.Trigger = TriggerNone // crash at completion
+	}
+	switch rng.Intn(3) {
+	case 0: // unlimited
+	case 1:
+		p.FlushBudget = 8 * (1 + rng.Intn(64)) // 8–512 B
+		p.TearWords = true
+	case 2:
+		p.FlushBudget = 1 + rng.Intn(512)
+		p.TearWords = rng.Intn(2) == 0
+	}
+	if allowStrict && rng.Intn(4) == 0 {
+		p.StrictBudget = true
+	}
+	if allowFlips && rng.Intn(4) == 0 {
+		p.BitFlips = 1 + rng.Intn(8)
+	}
+	if rng.Intn(2) == 0 {
+		p.RecrashEvery = 1 + rng.Intn(32)
+	}
+	return p
+}
+
+// FlipLogBits flips n random bits across the used prefixes of every
+// thread's log area — post-crash media corruption the per-record CRCs
+// must detect. Threads with empty logs are skipped; if no thread has
+// log bytes, nothing happens.
+func FlipLogBits(dev *pm.Device, region *logging.RegionWriter, rng *rand.Rand, n int) int {
+	type area struct {
+		base mem.Addr
+		used int64
+	}
+	var areas []area
+	var total int64
+	for t := 0; t < region.Threads(); t++ {
+		if u := int64(region.Used(t)); u > 0 {
+			areas = append(areas, area{region.AreaBase(t), u})
+			total += u
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(areas, func(i, j int) bool { return areas[i].base < areas[j].base })
+	flipped := 0
+	for i := 0; i < n; i++ {
+		off := rng.Int63n(total)
+		for _, a := range areas {
+			if off >= a.used {
+				off -= a.used
+				continue
+			}
+			addr := a.base + mem.Addr(off)
+			b := dev.Peek(addr, 1)
+			b[0] ^= 1 << uint(rng.Intn(8))
+			dev.Populate(addr, b)
+			flipped++
+			break
+		}
+	}
+	return flipped
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"silo/internal/logging"
+	"silo/internal/pm"
+	"silo/internal/sim"
+)
+
+func TestTriggerStringParseRoundtrip(t *testing.T) {
+	for _, tr := range []Trigger{TriggerNone, TriggerOp, TriggerCycle, TriggerCommit, TriggerOverflow} {
+		got, err := ParseTrigger(tr.String())
+		if err != nil || got != tr {
+			t.Errorf("trigger %v: parsed %v, err %v", tr, got, err)
+		}
+	}
+	if _, err := ParseTrigger("never"); err == nil {
+		t.Error("unknown trigger accepted")
+	}
+	if Trigger(99).String() != "invalid" {
+		t.Error("out-of-range trigger stringer")
+	}
+}
+
+func TestPlanStringParseRoundtrip(t *testing.T) {
+	plans := []Plan{
+		{},
+		{Trigger: TriggerOp, AtOp: 137, Seed: 5},
+		{Trigger: TriggerCycle, AtCycle: sim.Cycle(40_000), FlushBudget: 64, TearWords: true},
+		{Trigger: TriggerCommit, AfterCommits: 3, FlushBudget: 100, StrictBudget: true, BitFlips: 2, Seed: -9},
+		{Trigger: TriggerOverflow, AfterAppends: 12, RecrashEvery: 7},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		if got.String() != s {
+			t.Errorf("roundtrip %q -> %q", s, got.String())
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{"trigger", "trigger=bogus", "at=x", "wat=1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	// Empty string is the zero plan, not an error.
+	if p, err := ParsePlan(""); err != nil || p.Active() {
+		t.Errorf("empty plan: %+v, %v", p, err)
+	}
+}
+
+func TestRandomPlansValidAndReplayable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := Random(rng, 500, false, false)
+		if p.StrictBudget || p.BitFlips != 0 {
+			t.Fatal("beyond-spec faults generated without opt-in")
+		}
+		if p.FlushBudget < 0 || p.RecrashEvery < 0 {
+			t.Fatalf("negative knob: %+v", p)
+		}
+		// Every generated schedule must survive the repro-line round trip.
+		got, err := ParsePlan(p.String())
+		if err != nil || got.String() != p.String() {
+			t.Fatalf("plan %q does not replay: %v", p.String(), err)
+		}
+	}
+	// With the gates open, the beyond-spec classes eventually appear.
+	strict, flips := false, false
+	for i := 0; i < 200; i++ {
+		p := Random(rng, 500, true, true)
+		strict = strict || p.StrictBudget
+		flips = flips || p.BitFlips > 0
+	}
+	if !strict || !flips {
+		t.Error("allowStrict/allowFlips never fired in 200 draws")
+	}
+}
+
+func TestFlipLogBits(t *testing.T) {
+	dev := pm.New(pm.DefaultConfig())
+	region := logging.NewRegionWriter(dev, 2)
+	rng := rand.New(rand.NewSource(7))
+
+	// Empty log: nothing to corrupt.
+	if n := FlipLogBits(dev, region, rng, 3); n != 0 {
+		t.Fatalf("flipped %d bits in an empty log", n)
+	}
+
+	region.AppendAtCrash(0, []logging.Image{
+		{Kind: logging.ImageUndo, TID: 0, TxID: 1, Addr: 0x100, Data: 5},
+		logging.CommitImage(0, 1),
+	})
+	used := int(region.Used(0))
+	before := append([]byte(nil), dev.Peek(region.AreaBase(0), used)...)
+	if n := FlipLogBits(dev, region, rng, 1); n != 1 {
+		t.Fatalf("flipped %d bits, want 1", n)
+	}
+	after := dev.Peek(region.AreaBase(0), used)
+	diff := 0
+	for i := range before {
+		for b := before[i] ^ after[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bits differ in the log area, want exactly 1", diff)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"silo/internal/baseline"
 	"silo/internal/cache"
 	"silo/internal/core"
+	"silo/internal/fault"
 	"silo/internal/logging"
 	"silo/internal/machine"
 	"silo/internal/pm"
@@ -59,6 +60,11 @@ type Spec struct {
 	SiloOpts      core.Options // ablation switches for Silo
 	PMMod         func(*pm.Config)
 	CrashAtOp     int64
+
+	// Fault, when non-nil, is the full crash schedule (trigger, flush
+	// energy budget, media faults); see internal/fault. Takes precedence
+	// over CrashAtOp.
+	Fault *fault.Plan
 
 	// Trace, when non-nil, records every operation of the run.
 	Trace *trace.Writer
@@ -136,6 +142,7 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 		LogBuf:    spec.LogBufEntries,
 		LogLat:    spec.LogBufLatency,
 		CrashAtOp: spec.CrashAtOp,
+		Fault:     spec.Fault,
 		Trace:     spec.Trace,
 	})
 	if spec.OpsPerTx > 1 {
@@ -149,12 +156,8 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 
 // Run executes the spec to completion and returns the run record.
 func Run(spec Spec) (stats.Run, error) {
-	m, r, err := RunMachine(spec)
-	if err != nil {
-		return stats.Run{}, err
-	}
-	_ = m
-	return r, nil
+	_, r, err := RunMachine(spec)
+	return r, err
 }
 
 // RunMachine executes the spec and also returns the machine, for callers

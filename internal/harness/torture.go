@@ -1,0 +1,351 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"silo/internal/fault"
+	"silo/internal/machine"
+	"silo/internal/recovery"
+)
+
+// TortureConfig parameterizes a crash-storm campaign sweep: every
+// campaign is an independent (design × workload × seeded crash schedule)
+// run whose recovered PM state is verified word-for-word against the
+// machine's golden committed shadow.
+type TortureConfig struct {
+	Seed      int64
+	Campaigns int
+	// Offset shifts the campaign index range to [Offset, Offset+Campaigns):
+	// campaign k of a sweep reproduces alone with Offset=k, Campaigns=1.
+	Offset    int
+	Designs   []string // default DesignNames()
+	Workloads []string // default {"Array", "Hash", "TPCC"}
+	Cores     int      // default 2
+	Txns      int      // default 48
+	OpsPerTx  int      // default 0 (workload native)
+
+	// AllowStrict admits beyond-spec battery faults (critical records
+	// draw from the budget) and AllowBitFlips admits log media
+	// corruption. Both can legitimately lose committed work — the CRCs
+	// detect, they cannot restore — so the zero-mismatch guarantee only
+	// holds with them off.
+	AllowStrict   bool
+	AllowBitFlips bool
+
+	// Shrink reduces each failing campaign to a minimal reproducer.
+	Shrink bool
+
+	Parallel int // concurrent campaigns (0 → GOMAXPROCS)
+}
+
+func (c *TortureConfig) defaults() {
+	if c.Campaigns <= 0 {
+		c.Campaigns = 100
+	}
+	if len(c.Designs) == 0 {
+		c.Designs = DesignNames()
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"Array", "Hash", "TPCC"}
+	}
+	if c.Cores <= 0 {
+		c.Cores = 2
+	}
+	if c.Txns <= 0 {
+		c.Txns = 48
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Campaign is one fully-determined torture run.
+type Campaign struct {
+	Index int
+	Spec  Spec
+	Plan  fault.Plan
+}
+
+// Repro renders the silo-torture command line that replays this exact
+// campaign (design, workload, machine shape, and crash schedule).
+func (c Campaign) Repro() string {
+	return fmt.Sprintf(
+		"go run ./cmd/silo-torture -designs %s -workloads %s -cores %d -txns %d -seed %d -plan %q",
+		c.Spec.Design, c.Spec.Workload, c.Spec.Cores, c.Spec.Txns, c.Spec.Seed, c.Plan.String())
+}
+
+// MakeCampaign derives campaign i of the sweep deterministically from
+// the config: same seed and index, same campaign, on any machine.
+func MakeCampaign(cfg TortureConfig, i int) Campaign {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
+	spec := Spec{
+		Design:   cfg.Designs[rng.Intn(len(cfg.Designs))],
+		Workload: cfg.Workloads[rng.Intn(len(cfg.Workloads))],
+		Cores:    cfg.Cores,
+		Txns:     cfg.Txns,
+		Seed:     rng.Int63(),
+		OpsPerTx: cfg.OpsPerTx,
+	}
+	// Rough op-count scale for trigger placement: a transaction is a
+	// begin + end + a handful of loads/stores per op.
+	opsPerTx := int64(cfg.OpsPerTx)
+	if opsPerTx < 1 {
+		opsPerTx = 1
+	}
+	totalOps := int64(cfg.Txns) * (2 + 8*opsPerTx)
+	plan := fault.Random(rng, totalOps, cfg.AllowStrict, cfg.AllowBitFlips)
+	return Campaign{Index: i, Spec: spec, Plan: plan}
+}
+
+// CampaignOutcome is the record of one executed campaign.
+type CampaignOutcome struct {
+	Campaign   Campaign
+	Err        error
+	Mismatches []string // golden-shadow verification failures
+	Report     recovery.Report
+	MidRun     bool  // the trigger fired before the workload finished
+	Commits    int64 // transactions committed before the crash
+	Restarts   int   // mid-recovery re-crashes survived
+	Torn       int64 // crash-flush records torn by the energy budget
+	Dropped    int64 // crash-flush records dropped entirely
+}
+
+// Failed reports whether the campaign violated atomic durability (or
+// could not run at all).
+func (o CampaignOutcome) Failed() bool { return o.Err != nil || len(o.Mismatches) > 0 }
+
+// VerifyRecovery checks every word any transaction ever wrote against
+// the machine's golden committed shadow and returns the mismatches in
+// address order.
+func VerifyRecovery(m *machine.Machine) []string {
+	words := m.WrittenWords()
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	var bad []string
+	for _, a := range words {
+		want, ok := m.GoldenCommitted(a)
+		if !ok {
+			continue
+		}
+		if got, ok := recovery.VerifyWord(m.Device(), a, want); !ok {
+			bad = append(bad, fmt.Sprintf("%v = %#x want %#x", a, uint64(got), uint64(want)))
+		}
+	}
+	return bad
+}
+
+// RunCampaign executes one campaign end to end: run until the crash
+// schedule fires (or the workload finishes, in which case power fails at
+// completion), recover — re-crashing recovery itself if the plan says so
+// until a pass completes — verify the full golden shadow, then recover
+// once more and re-verify to prove a completed recovery is idempotent.
+func RunCampaign(c Campaign) CampaignOutcome {
+	out := CampaignOutcome{Campaign: c}
+	spec := c.Spec
+	plan := c.Plan // private copy: campaigns must not share mutable state
+	spec.Fault = &plan
+	m, _, err := RunMachine(spec)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.MidRun = m.Crashed()
+	if !out.MidRun {
+		// The schedule never fired mid-run; the power still goes out.
+		m.InjectCrash(m.Now())
+	}
+	out.Commits = m.Commits()
+	out.Torn = m.Region().CrashImagesTorn
+	out.Dropped = m.Region().CrashImagesDropped
+
+	if plan.RecrashEvery > 0 {
+		// Crash recovery itself after every RecrashEvery applied words;
+		// each retry's battery lasts twice as long, so the loop
+		// terminates, and recovery never mutates the log, so restarting
+		// from scratch is legal.
+		limit := plan.RecrashEvery
+		for {
+			out.Report = recovery.RecoverOpts(m.Device(), m.Region(), recovery.Options{MaxWrites: limit})
+			if out.Report.Complete {
+				break
+			}
+			out.Restarts++
+			limit *= 2
+		}
+	} else {
+		out.Report = recovery.Recover(m.Device(), m.Region())
+	}
+	out.Mismatches = VerifyRecovery(m)
+
+	// Idempotence: a second full pass over the same log must change
+	// nothing.
+	second := recovery.Recover(m.Device(), m.Region())
+	if again := VerifyRecovery(m); len(again) > len(out.Mismatches) {
+		out.Mismatches = append(again,
+			"second recovery pass changed the data region (not idempotent)")
+	} else if second.TotalRecords != out.Report.TotalRecords ||
+		second.Quarantined != out.Report.Quarantined {
+		out.Mismatches = append(out.Mismatches, fmt.Sprintf(
+			"second recovery pass scanned differently: %d/%d records, %d/%d quarantined",
+			second.TotalRecords, out.Report.TotalRecords,
+			second.Quarantined, out.Report.Quarantined))
+	}
+	return out
+}
+
+// Shrink reduces a failing campaign to a minimal reproducer: bisect the
+// transaction count, drop to one core, then strip crash-schedule
+// features one at a time, keeping each reduction only if the campaign
+// still fails.
+func Shrink(c Campaign) Campaign {
+	fails := func(tc Campaign) bool { return RunCampaign(tc).Failed() }
+	for c.Spec.Txns > 1 {
+		trial := c
+		trial.Spec.Txns = c.Spec.Txns / 2
+		if !fails(trial) {
+			break
+		}
+		c = trial
+	}
+	if c.Spec.Cores > 1 {
+		trial := c
+		trial.Spec.Cores = 1
+		if fails(trial) {
+			c = trial
+		}
+	}
+	mods := []func(*fault.Plan){
+		func(p *fault.Plan) { p.RecrashEvery = 0 },
+		func(p *fault.Plan) { p.BitFlips = 0 },
+		func(p *fault.Plan) { p.StrictBudget = false },
+		func(p *fault.Plan) { p.FlushBudget = 0; p.TearWords = false },
+		func(p *fault.Plan) { p.Trigger = fault.TriggerNone },
+	}
+	for _, mod := range mods {
+		trial := c
+		mod(&trial.Plan)
+		if fails(trial) {
+			c = trial
+		}
+	}
+	return c
+}
+
+// TortureFailure is one campaign that violated atomic durability.
+type TortureFailure struct {
+	Outcome CampaignOutcome
+	// Shrunk is the minimal reproducer (nil unless Shrink was on).
+	Shrunk *Campaign
+}
+
+// TortureResult aggregates a campaign sweep.
+type TortureResult struct {
+	Campaigns     int
+	MidRunCrashes int
+	Commits       int64
+	RecoveredTx   int
+	RedoApplied   int
+	UndoApplied   int
+	Quarantined   int
+	Torn          int64
+	Dropped       int64
+	Restarts      int
+	Failures      []TortureFailure
+}
+
+// Ok reports whether every campaign verified clean.
+func (r TortureResult) Ok() bool { return len(r.Failures) == 0 }
+
+// Summary renders the sweep as a short report, with a repro line per
+// failure.
+func (r TortureResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "torture: %d campaigns, %d crashed mid-run, %d tx committed\n",
+		r.Campaigns, r.MidRunCrashes, r.Commits)
+	fmt.Fprintf(&b, "recovery: %d tx recovered, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d mid-recovery re-crashes\n",
+		r.RecoveredTx, r.RedoApplied, r.UndoApplied, r.Quarantined, r.Torn, r.Dropped, r.Restarts)
+	if r.Ok() {
+		b.WriteString("result: PASS (zero post-recovery mismatches)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "result: FAIL (%d campaigns violated atomic durability)\n", len(r.Failures))
+	for _, f := range r.Failures {
+		o := f.Outcome
+		fmt.Fprintf(&b, "  campaign %d: %s on %s", o.Campaign.Index, o.Campaign.Spec.Design, o.Campaign.Spec.Workload)
+		if o.Err != nil {
+			fmt.Fprintf(&b, " error: %v\n", o.Err)
+		} else {
+			n := len(o.Mismatches)
+			show := o.Mismatches
+			if len(show) > 3 {
+				show = show[:3]
+			}
+			fmt.Fprintf(&b, " %d mismatches: %s\n", n, strings.Join(show, "; "))
+		}
+		fmt.Fprintf(&b, "    repro: %s\n", o.Campaign.Repro())
+		if f.Shrunk != nil {
+			fmt.Fprintf(&b, "    shrunk: %s\n", f.Shrunk.Repro())
+		}
+	}
+	return b.String()
+}
+
+// Torture runs the campaign sweep. Campaigns are independent
+// simulations, so they execute in parallel across host CPUs; results
+// are deterministic regardless of parallelism.
+func Torture(cfg TortureConfig) (TortureResult, error) {
+	cfg.defaults()
+	outcomes := make([]CampaignOutcome, cfg.Campaigns)
+	sem := make(chan struct{}, cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Campaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = RunCampaign(MakeCampaign(cfg, cfg.Offset+i))
+		}(i)
+	}
+	wg.Wait()
+
+	var res TortureResult
+	res.Campaigns = cfg.Campaigns
+	for _, o := range outcomes {
+		if o.Err != nil {
+			// A campaign that cannot even run is a config error worth
+			// failing the whole sweep for.
+			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
+			continue
+		}
+		if o.MidRun {
+			res.MidRunCrashes++
+		}
+		res.Commits += o.Commits
+		res.RecoveredTx += o.Report.CommittedTx
+		res.RedoApplied += o.Report.RedoApplied
+		res.UndoApplied += o.Report.UndoApplied
+		res.Quarantined += o.Report.Quarantined
+		res.Torn += o.Torn
+		res.Dropped += o.Dropped
+		res.Restarts += o.Restarts
+		if len(o.Mismatches) > 0 {
+			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
+		}
+	}
+	if cfg.Shrink {
+		for i := range res.Failures {
+			if res.Failures[i].Outcome.Err != nil {
+				continue
+			}
+			s := Shrink(res.Failures[i].Outcome.Campaign)
+			res.Failures[i].Shrunk = &s
+		}
+	}
+	return res, nil
+}

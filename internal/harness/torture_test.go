@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silo/internal/fault"
+	"silo/internal/recovery"
+)
+
+func TestMakeCampaignDeterministic(t *testing.T) {
+	cfg := TortureConfig{Seed: 9, Campaigns: 10}
+	key := func(c Campaign) string {
+		return c.Spec.Design + "/" + c.Spec.Workload + "/" + c.Plan.String()
+	}
+	for i := 0; i < 10; i++ {
+		a, b := MakeCampaign(cfg, i), MakeCampaign(cfg, i)
+		if key(a) != key(b) || a.Spec.Seed != b.Spec.Seed {
+			t.Fatalf("campaign %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if key(MakeCampaign(cfg, 0)) == key(MakeCampaign(cfg, 1)) {
+		t.Error("consecutive campaigns identical")
+	}
+}
+
+func TestCampaignReproLine(t *testing.T) {
+	c := MakeCampaign(TortureConfig{Seed: 3}, 7)
+	r := c.Repro()
+	for _, frag := range []string{"silo-torture", "-designs " + c.Spec.Design, "-plan"} {
+		if !strings.Contains(r, frag) {
+			t.Errorf("repro line missing %q: %s", frag, r)
+		}
+	}
+	// The embedded plan must parse back to the same schedule.
+	if _, err := fault.ParsePlan(c.Plan.String()); err != nil {
+		t.Errorf("repro plan does not parse: %v", err)
+	}
+}
+
+func TestRunCampaignDeterministic(t *testing.T) {
+	c := MakeCampaign(TortureConfig{Seed: 21, Txns: 24}, 4)
+	a, b := RunCampaign(c), RunCampaign(c)
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if a.Commits != b.Commits || a.MidRun != b.MidRun ||
+		a.Report != b.Report || a.Torn != b.Torn || a.Dropped != b.Dropped {
+		t.Errorf("campaign outcome not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestTortureSmoke: a small always-on sweep over every design and
+// workload mix. Zero mismatches tolerated.
+func TestTortureSmoke(t *testing.T) {
+	res, err := Torture(TortureConfig{Seed: 2, Campaigns: 16, Txns: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("torture smoke failed:\n%s", res.Summary())
+	}
+	if res.Campaigns != 16 {
+		t.Errorf("ran %d campaigns", res.Campaigns)
+	}
+}
+
+// TestTortureAcceptance is the issue's acceptance bar: a 200-campaign
+// sweep over {Base, FWB, MorLog, LAD, Silo} × {Array, Hash, TPCC} with
+// crash triggers at op/cycle/commit-window/overflow granularity, torn
+// crash flushes, and mid-recovery re-crashes — and ZERO post-recovery
+// golden-shadow mismatches.
+func TestTortureAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-campaign sweep")
+	}
+	res, err := Torture(TortureConfig{Seed: 1, Campaigns: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("atomic durability violated:\n%s", res.Summary())
+	}
+	// The sweep must actually exercise the adversarial machinery, not
+	// pass vacuously.
+	if res.MidRunCrashes == 0 {
+		t.Error("no campaign crashed mid-run")
+	}
+	if res.Torn == 0 && res.Dropped == 0 {
+		t.Error("no campaign tore or dropped a crash-flush record")
+	}
+	if res.Restarts == 0 {
+		t.Error("no campaign re-crashed during recovery")
+	}
+	t.Logf("torture summary:\n%s", res.Summary())
+}
+
+// TestRecoveryIdempotentAllDesigns crashes every design (including the
+// extended baselines) mid-run with an overflowing write set — Sweep40
+// writes 40 distinct words per transaction, far past the 20-entry
+// on-chip buffer — then proves recovery is idempotent: a second full
+// pass changes no transactional word.
+func TestRecoveryIdempotentAllDesigns(t *testing.T) {
+	for _, d := range ExtendedDesignNames() {
+		d := d
+		t.Run(d, func(t *testing.T) {
+			plan := fault.Plan{Trigger: fault.TriggerOp, AtOp: 700, Seed: 3}
+			spec := Spec{Design: d, Workload: "Sweep40", Cores: 2, Txns: 30, Seed: 3, Fault: &plan}
+			m, _, err := RunMachine(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Crashed() {
+				m.InjectCrash(m.Now())
+			}
+			recovery.Recover(m.Device(), m.Region())
+			if bad := VerifyRecovery(m); len(bad) != 0 {
+				t.Fatalf("first recovery left %d mismatches: %v", len(bad), bad[:min(3, len(bad))])
+			}
+			words := m.WrittenWords()
+			before := make(map[uint64]uint64, len(words))
+			for _, a := range words {
+				got, _ := recovery.VerifyWord(m.Device(), a, 0)
+				before[uint64(a)] = uint64(got)
+			}
+			recovery.Recover(m.Device(), m.Region())
+			for _, a := range words {
+				if got, _ := recovery.VerifyWord(m.Device(), a, 0); uint64(got) != before[uint64(a)] {
+					t.Fatalf("second recovery changed %v: %#x -> %#x", a, before[uint64(a)], uint64(got))
+				}
+			}
+		})
+	}
+}
+
+// TestCrashReplayDeterministic: the same Spec (seed included) under the
+// same crash schedule yields byte-identical results — identical run
+// stats AND an identical durable log region. This is what makes every
+// torture repro line trustworthy.
+func TestCrashReplayDeterministic(t *testing.T) {
+	plan := fault.Plan{
+		Trigger: fault.TriggerCommit, AfterCommits: 9,
+		FlushBudget: 96, TearWords: true, Seed: 11,
+	}
+	run := func() ([]byte, int64) {
+		p := plan
+		spec := Spec{Design: "Silo", Workload: "Hash", Cores: 2, Txns: 40, Seed: 11, Fault: &p}
+		m, _, err := RunMachine(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Crashed() {
+			m.InjectCrash(m.Now())
+		}
+		var log []byte
+		region := m.Region()
+		for tid := 0; tid < region.Threads(); tid++ {
+			log = append(log, m.Device().Peek(region.AreaBase(tid), int(region.Used(tid)))...)
+		}
+		return log, m.Commits()
+	}
+	logA, commitsA := run()
+	logB, commitsB := run()
+	if commitsA != commitsB {
+		t.Fatalf("commit counts differ: %d vs %d", commitsA, commitsB)
+	}
+	if !bytes.Equal(logA, logB) {
+		t.Fatalf("durable log regions differ (%d vs %d bytes)", len(logA), len(logB))
+	}
+	if len(logA) == 0 {
+		t.Fatal("no log bytes to compare")
+	}
+}

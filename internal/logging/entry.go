@@ -179,6 +179,87 @@ func DecodeImage(buf []byte) (im Image, n int, ok bool) {
 	return im, UndoRedoBytes, true
 }
 
+// On-media sealing. Encode/DecodeImage describe the *logical* record
+// layout whose sizes the paper's capacity math depends on (18 B undo,
+// 26 B undo+redo, §III-F/§VI-D). On media every record additionally
+// carries a 3 B seal trailer — a sequence number and a CRC — so a
+// recovery scan can tell a torn or bit-flipped record from a good one
+// instead of replaying garbage. The trailer models the ECC/metadata
+// bits PM DIMMs already store out-of-band per line, which is why it is
+// not charged against the paper's record sizes.
+const (
+	// SealBytes is the on-media trailer: seq(1) + crc16(2).
+	SealBytes = 3
+	// MaxSealedBytes bounds any sealed record (undo+redo + trailer).
+	MaxSealedBytes = UndoRedoBytes + SealBytes
+)
+
+// SealStatus classifies what UnsealImage found at a scan position.
+type SealStatus uint8
+
+const (
+	// SealOK: a well-formed record.
+	SealOK SealStatus = iota
+	// SealEnd: erased media (valid bit clear) — the clean end of a log.
+	SealEnd
+	// SealCorrupt: a record that started but fails its checksum, carries
+	// an out-of-order sequence number, or is cut off by the area end —
+	// a torn crash flush or a media fault. The scan must quarantine it.
+	SealCorrupt
+)
+
+// crc16 is CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — small enough
+// for a log-controller datapath, strong enough to catch any torn 8-byte
+// suffix or single bit flip in a ≤29 B record.
+func crc16(b []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, c := range b {
+		crc ^= uint16(c) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Seal serializes the image plus its on-media trailer into buf and
+// returns the bytes written. seq is the record's position (mod 256) in
+// its thread's log area since the last truncation; the CRC covers the
+// record and the sequence number.
+func (im Image) Seal(buf []byte, seq uint8) int {
+	n := im.Encode(buf)
+	buf[n] = seq
+	c := crc16(buf[:n+1])
+	buf[n+1] = byte(c)
+	buf[n+2] = byte(c >> 8)
+	return n + SealBytes
+}
+
+// UnsealImage parses one sealed record from buf, checking its CRC and
+// expected sequence number. It distinguishes the clean end of a log
+// (erased media) from a torn or corrupt record, which recovery must
+// quarantine rather than interpret.
+func UnsealImage(buf []byte, wantSeq uint8) (im Image, n int, status SealStatus) {
+	if len(buf) == 0 || buf[0]&flagValid == 0 {
+		return Image{}, 0, SealEnd
+	}
+	im, sz, ok := DecodeImage(buf)
+	if !ok || len(buf) < sz+SealBytes {
+		return Image{}, 0, SealCorrupt
+	}
+	if buf[sz] != wantSeq {
+		return Image{}, 0, SealCorrupt
+	}
+	if c := crc16(buf[:sz+1]); buf[sz+1] != byte(c) || buf[sz+2] != byte(c>>8) {
+		return Image{}, 0, SealCorrupt
+	}
+	return im, sz + SealBytes, SealOK
+}
+
 // UndoImage serializes e's undo half.
 func (e Entry) UndoImage() Image {
 	return Image{Kind: ImageUndo, FlushBit: e.FlushBit, TID: e.TID, TxID: e.TxID, Addr: e.Addr, Data: e.Old}

@@ -285,8 +285,8 @@ func TestRegionBatchedAppendIsOneWrite(t *testing.T) {
 	if got := w.ImagesWritten; got != 14 {
 		t.Errorf("ImagesWritten = %d", got)
 	}
-	if got := w.BytesWritten; got != 14*UndoBytes {
-		t.Errorf("BytesWritten = %d, want %d", got, 14*UndoBytes)
+	if got := w.BytesWritten; got != 14*(UndoBytes+SealBytes) {
+		t.Errorf("BytesWritten = %d, want %d (18B image + 3B on-media seal)", got, 14*(UndoBytes+SealBytes))
 	}
 	if got := len(w.Scan(0)); got != 14 {
 		t.Errorf("scanned %d, want 14", got)
@@ -318,5 +318,128 @@ func TestBufferMergeClearsFlushBit(t *testing.T) {
 	}
 	if b.Entry(0).New != 2 || b.Entry(0).Old != 0 {
 		t.Error("merge values wrong")
+	}
+}
+
+func TestSealUnsealRoundtrip(t *testing.T) {
+	images := []Image{
+		{Kind: ImageUndo, TID: 3, TxID: 500, Addr: 0x123456789AB8, Data: 0xCAFE},
+		{Kind: ImageRedo, FlushBit: true, TID: 255, TxID: 65535, Addr: mem.AddrMask48 &^ 7, Data: ^mem.Word(0)},
+		{Kind: ImageCommit, TID: 7, TxID: 42},
+		{Kind: ImageUndoRedo, TID: 1, TxID: 2, Addr: 0x1000, Data: 1, Data2: 2},
+	}
+	var buf [MaxSealedBytes]byte
+	for seq := 0; seq < 256; seq += 51 {
+		for _, im := range images {
+			n := im.Seal(buf[:], uint8(seq))
+			if n != im.Size()+SealBytes {
+				t.Fatalf("%v: sealed %dB, want %d", im.Kind, n, im.Size()+SealBytes)
+			}
+			got, n2, st := UnsealImage(buf[:n], uint8(seq))
+			if st != SealOK || n2 != n {
+				t.Fatalf("%v seq %d: unseal status %v n %d", im.Kind, seq, st, n2)
+			}
+			if got.Kind != im.Kind || got.TxID != im.TxID {
+				t.Errorf("roundtrip content: %+v vs %+v", got, im)
+			}
+		}
+	}
+}
+
+func TestUnsealDetectsEveryBitFlip(t *testing.T) {
+	// CRC-16 catches all single-bit errors: no flipped bit in a sealed
+	// record may unseal as SealOK. (Hitting the valid bit reads as a
+	// clean log end — still never OK.)
+	im := Image{Kind: ImageUndo, TID: 1, TxID: 9, Addr: 0x800, Data: 0x1234}
+	var buf [MaxSealedBytes]byte
+	n := im.Seal(buf[:], 4)
+	for i := 0; i < n; i++ {
+		for b := 0; b < 8; b++ {
+			buf[i] ^= 1 << b
+			if _, _, st := UnsealImage(buf[:n], 4); st == SealOK {
+				t.Fatalf("bit %d of byte %d flipped undetected", b, i)
+			}
+			buf[i] ^= 1 << b
+		}
+	}
+	// Untouched, it still unseals.
+	if _, _, st := UnsealImage(buf[:n], 4); st != SealOK {
+		t.Fatalf("control unseal failed: %v", st)
+	}
+}
+
+func TestUnsealSeqMismatch(t *testing.T) {
+	// A stale record left by an earlier, longer log generation carries
+	// the wrong sequence number and must be quarantined, not replayed.
+	im := CommitImage(0, 7)
+	var buf [MaxSealedBytes]byte
+	n := im.Seal(buf[:], 3)
+	if _, _, st := UnsealImage(buf[:n], 5); st != SealCorrupt {
+		t.Errorf("wrong-seq record unsealed with status %v, want corrupt", st)
+	}
+}
+
+func TestUnsealCleanEnd(t *testing.T) {
+	if _, _, st := UnsealImage(make([]byte, 32), 0); st != SealEnd {
+		t.Error("zeroed media not treated as log end")
+	}
+	if _, _, st := UnsealImage(nil, 0); st != SealEnd {
+		t.Error("empty buffer not treated as log end")
+	}
+}
+
+func TestScanCheckedTornTail(t *testing.T) {
+	// Crash flush with enough battery for the first record plus one word:
+	// the second record tears and must be quarantined while the first
+	// survives.
+	dev, w := newRegion(1)
+	dev.SetCrashEnergy((UndoBytes+SealBytes)+8, true, false)
+	w.AppendAtCrash(0, []Image{
+		{Kind: ImageUndo, TID: 0, TxID: 1, Addr: 0x100, Data: 1},
+	})
+	w.AppendAtCrash(0, []Image{
+		{Kind: ImageUndo, TID: 0, TxID: 1, Addr: 0x108, Data: 2},
+	})
+	dev.ClearCrashEnergy()
+	res := w.ScanChecked(0)
+	if len(res.Images) != 1 || res.Images[0].Data != 1 {
+		t.Fatalf("scan kept %d records: %+v", len(res.Images), res.Images)
+	}
+	if res.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", res.Quarantined)
+	}
+	if w.CrashImagesTorn != 1 {
+		t.Errorf("CrashImagesTorn = %d", w.CrashImagesTorn)
+	}
+}
+
+func TestScanCheckedDroppedRecordIsCleanEnd(t *testing.T) {
+	// Battery too small for even one word of the record: it is dropped
+	// whole, leaving zeroed media — a clean log end, not corruption.
+	dev, w := newRegion(1)
+	dev.SetCrashEnergy(4, true, false)
+	w.AppendAtCrash(0, []Image{{Kind: ImageUndo, TID: 0, TxID: 1, Addr: 0x100, Data: 1}})
+	dev.ClearCrashEnergy()
+	res := w.ScanChecked(0)
+	if len(res.Images) != 0 || res.Quarantined != 0 {
+		t.Errorf("dropped record misread: %+v", res)
+	}
+	if w.CrashImagesDropped != 1 {
+		t.Errorf("CrashImagesDropped = %d", w.CrashImagesDropped)
+	}
+}
+
+func TestTruncateResetsSeq(t *testing.T) {
+	// Per-thread sequence numbers restart at zero after truncation so a
+	// fresh log generation scans cleanly from the area base.
+	_, w := newRegion(1)
+	for i := 0; i < 3; i++ {
+		w.Append(0, 0, []Image{{Kind: ImageUndo, Addr: mem.Addr(i * 8), Data: mem.Word(i)}})
+	}
+	w.Truncate(0)
+	w.Append(0, 0, []Image{{Kind: ImageUndo, Addr: 8, Data: 7}})
+	res := w.ScanChecked(0)
+	if len(res.Images) != 1 || res.Quarantined != 0 {
+		t.Errorf("post-truncate generation misread: %+v", res)
 	}
 }

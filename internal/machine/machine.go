@@ -5,7 +5,10 @@
 package machine
 
 import (
+	"math/rand"
+
 	"silo/internal/cache"
+	"silo/internal/fault"
 	"silo/internal/logging"
 	"silo/internal/mem"
 	"silo/internal/pm"
@@ -26,8 +29,13 @@ type Config struct {
 	PersistPath sim.Cycle // core→ADR-domain path for synchronous persists (0 → 60)
 
 	// CrashAtOp injects a crash when the op counter reaches this value
-	// (0 disables).
+	// (0 disables). Shorthand for a Fault plan with TriggerOp.
 	CrashAtOp int64
+
+	// Fault, when non-nil, is the full crash schedule: trigger (op,
+	// cycle, commit window, overflow eviction), crash-flush energy
+	// budget, and media faults. Takes precedence over CrashAtOp.
+	Fault *fault.Plan
 
 	// Trace, when non-nil, records every executed operation.
 	Trace *trace.Writer
@@ -47,6 +55,10 @@ type Machine struct {
 	committed map[mem.Addr]mem.Word   // golden committed state
 	baseline  map[mem.Addr]mem.Word   // pre-first-write values
 	unsafeW   map[mem.Addr]bool       // words written outside transactions
+
+	plan          *fault.Plan
+	crashPending  bool  // event trigger matched; crash at the next op
+	regionAppends int64 // run-time log appends observed (overflow trigger)
 
 	opCount     int64
 	commits     int64
@@ -103,6 +115,18 @@ func New(cfg Config) *Machine {
 		PersistPath:   cfg.PersistPath,
 	}
 	m.design = cfg.Design(env)
+	m.plan = cfg.Fault
+	if m.plan == nil && cfg.CrashAtOp > 0 {
+		m.plan = &fault.Plan{Trigger: fault.TriggerOp, AtOp: cfg.CrashAtOp}
+	}
+	if m.plan != nil && m.plan.Trigger == fault.TriggerOverflow {
+		m.region.OnAppend = func(tid, images int) {
+			m.regionAppends++
+			if m.regionAppends >= m.plan.AfterAppends {
+				m.crashPending = true
+			}
+		}
+	}
 	return m
 }
 
@@ -110,6 +134,9 @@ func New(cfg Config) *Machine {
 func (m *Machine) Engine(seed int64) *sim.Engine {
 	if m.engine == nil {
 		m.engine = sim.NewEngine(m, m.cfg.Cores, seed)
+		if m.plan != nil && m.plan.Trigger == fault.TriggerCycle {
+			m.engine.ScheduleCrash(m.plan.AtCycle, m.InjectCrash)
+		}
 	}
 	return m.engine
 }
@@ -159,7 +186,7 @@ func (m *Machine) writeback(now sim.Cycle, la mem.Addr, data [mem.LineSize]byte)
 // Exec implements sim.Executor.
 func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 	m.opCount++
-	if m.cfg.CrashAtOp > 0 && m.opCount >= m.cfg.CrashAtOp && m.engine != nil && !m.engine.Crashed() {
+	if m.shouldCrash() && m.engine != nil && !m.engine.Crashed() {
 		m.InjectCrash(now)
 		return sim.Result{Latency: -1}
 	}
@@ -207,6 +234,11 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 			m.committed[a] = v
 			delete(m.pending[core], a)
 		}
+		if m.plan != nil && m.plan.Trigger == fault.TriggerCommit && m.commits >= m.plan.AfterCommits {
+			// Crash at the next operation: inside the commit window, with
+			// the committed transaction's in-place updates still in flight.
+			m.crashPending = true
+		}
 		return sim.Result{Latency: 1 + extra}
 	case sim.OpCompute:
 		return sim.Result{Latency: op.Cycles}
@@ -214,17 +246,41 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 	return sim.Result{Latency: 1}
 }
 
+// shouldCrash evaluates the fault plan's op-count and event triggers.
+// The cycle trigger lives in the engine (ScheduleCrash), which sees
+// every scheduling point rather than only this machine's op entries.
+func (m *Machine) shouldCrash() bool {
+	if m.crashPending {
+		return true
+	}
+	p := m.plan
+	return p != nil && p.Trigger == fault.TriggerOp && p.AtOp > 0 && m.opCount >= p.AtOp
+}
+
 // InjectCrash models a power failure at time now: the design performs its
-// battery-backed flush (§III-G for Silo), the volatile caches vanish —
-// unless the platform battery-backs them (eADR/BBB designs), in which
-// case every dirty line is flushed to PM first — and the engine unwinds
-// every core. The PM device (media + ADR domains) survives untouched.
+// battery-backed flush (§III-G for Silo) under the plan's energy budget,
+// the volatile caches vanish — unless the platform battery-backs them
+// (eADR/BBB designs), in which case every dirty line is flushed to PM
+// first — and the engine unwinds every core. The PM device (media + ADR
+// domains) survives untouched, except for the plan's optional bit-flip
+// media faults against the log region.
 func (m *Machine) InjectCrash(now sim.Cycle) {
+	if m.plan != nil {
+		m.dev.SetCrashEnergy(m.plan.FlushBudget, m.plan.TearWords, m.plan.StrictBudget)
+	}
 	m.design.Crash(now)
 	if p, ok := m.design.(logging.CachePersistor); ok && p.PersistCachesAtCrash() {
 		m.hier.ForceWriteBackAll(now)
 	}
 	m.hier.InvalidateAll()
+	if m.plan != nil {
+		if m.plan.BitFlips > 0 {
+			rng := rand.New(rand.NewSource(m.plan.Seed ^ 0x0b17f115))
+			fault.FlipLogBits(m.dev, m.region, rng, m.plan.BitFlips)
+		}
+		// Power is gone; the budget must not throttle recovery's writes.
+		m.dev.ClearCrashEnergy()
+	}
 	if m.engine != nil {
 		m.engine.Crash()
 	}

@@ -100,6 +100,67 @@ type Device struct {
 	// endurance/hotspot analysis (PCM cells die where writes concentrate;
 	// wear leveling can only smooth so much).
 	wear map[mem.Addr]int64
+
+	energy crashEnergy
+}
+
+// crashEnergy is the battery/ADR budget model for the selective crash
+// flush (§III-G): a power failure leaves a bounded number of bytes the
+// platform can still push into the persistence domain. The budget is
+// armed by SetCrashEnergy at crash time and consumed by CrashAllowance
+// as the design's crash flush streams records out.
+type crashEnergy struct {
+	armed     bool
+	unlimited bool
+	remaining int
+	tearWords bool
+	strict    bool
+}
+
+// SetCrashEnergy arms the crash-flush energy budget: at most budgetBytes
+// of flush traffic survive the power failure (budgetBytes <= 0 models a
+// correctly-provisioned battery — unlimited). With tearWords, a record
+// that only partially fits is torn at 8-byte-word granularity (a prefix
+// of whole words survives); otherwise a partial record is dropped
+// entirely. With strict, even critical records (commit ID tuples, undo
+// logs — the set the paper's Table IV battery is explicitly sized for)
+// draw from the budget; non-strict mode lets them bypass it, modeling
+// the guaranteed reserve a real battery dedicates to the must-flush set.
+func (d *Device) SetCrashEnergy(budgetBytes int, tearWords, strict bool) {
+	d.energy = crashEnergy{
+		armed:     true,
+		unlimited: budgetBytes <= 0,
+		remaining: budgetBytes,
+		tearWords: tearWords,
+		strict:    strict,
+	}
+}
+
+// ClearCrashEnergy disarms the budget — power is back; recovery writes
+// are not battery-bounded.
+func (d *Device) ClearCrashEnergy() { d.energy = crashEnergy{} }
+
+// CrashAllowance consumes budget for an n-byte crash-flush write and
+// returns how many of its leading bytes survive: n (fits), 0 (dropped),
+// or a word-rounded prefix length (torn). critical marks records the
+// battery reserve guarantees (see SetCrashEnergy).
+func (d *Device) CrashAllowance(n int, critical bool) int {
+	e := &d.energy
+	if !e.armed || e.unlimited || (critical && !e.strict) {
+		return n
+	}
+	m := n
+	if m > e.remaining {
+		m = e.remaining
+	}
+	e.remaining -= m
+	if m < n {
+		if !e.tearWords {
+			return 0
+		}
+		m &^= mem.WordSize - 1
+	}
+	return m
 }
 
 // New creates a Device from cfg.

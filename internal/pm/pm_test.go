@@ -350,3 +350,70 @@ func TestPopulateOverridesBufferedWrite(t *testing.T) {
 		t.Fatalf("drain resurrected the stale byte: %#x", got)
 	}
 }
+
+func TestCrashAllowanceUnarmed(t *testing.T) {
+	d := New(testConfig())
+	if got := d.CrashAllowance(100, false); got != 100 {
+		t.Errorf("unarmed allowance = %d, want 100", got)
+	}
+}
+
+func TestCrashAllowanceUnlimitedBudget(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(0, false, false) // 0 = correctly-provisioned battery
+	if got := d.CrashAllowance(1 << 20, false); got != 1<<20 {
+		t.Errorf("unlimited allowance = %d", got)
+	}
+}
+
+func TestCrashAllowanceBudgetExhausts(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(20, false, false)
+	if got := d.CrashAllowance(18, false); got != 18 {
+		t.Fatalf("first record allowance = %d, want 18", got)
+	}
+	// 2 bytes remain; without tearing a partial record is dropped whole.
+	if got := d.CrashAllowance(18, false); got != 0 {
+		t.Errorf("post-budget allowance = %d, want 0", got)
+	}
+}
+
+func TestCrashAllowanceTearsAtWords(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(20, true, false)
+	// 20 bytes for a 30-byte record: torn down to word granularity.
+	if got := d.CrashAllowance(30, false); got != 16 {
+		t.Errorf("torn allowance = %d, want 16 (20 &^ 7)", got)
+	}
+}
+
+func TestCrashAllowanceCriticalBypassesBudget(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(8, false, false)
+	// Critical records (commit tuples, undo logs) are within the battery's
+	// Table IV sizing: they flush in full and do not drain the budget.
+	if got := d.CrashAllowance(100, true); got != 100 {
+		t.Fatalf("critical allowance = %d, want 100", got)
+	}
+	if got := d.CrashAllowance(8, false); got != 8 {
+		t.Errorf("budget drained by critical record: allowance = %d", got)
+	}
+}
+
+func TestCrashAllowanceStrictChargesCritical(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(8, false, true) // battery failed below spec
+	if got := d.CrashAllowance(100, true); got != 0 {
+		t.Errorf("strict critical allowance = %d, want 0", got)
+	}
+}
+
+func TestClearCrashEnergy(t *testing.T) {
+	d := New(testConfig())
+	d.SetCrashEnergy(1, false, true)
+	d.ClearCrashEnergy()
+	// Recovery-time writes must not be limited by the crash battery.
+	if got := d.CrashAllowance(100, false); got != 100 {
+		t.Errorf("post-clear allowance = %d, want 100", got)
+	}
+}

@@ -7,6 +7,12 @@
 // The same procedure recovers the baseline designs' logs (full undo+redo
 // records with or without commit markers), which lets the test suite
 // verify atomic durability for every evaluated scheme, not just Silo.
+//
+// The scan is checked: every record carries a CRC and sequence number
+// (see logging.Seal), and a torn or corrupt record is quarantined — the
+// scan stops there, and in particular a torn commit ID tuple leaves its
+// transaction *uncommitted*, the safe default (its undo logs revoke the
+// partial updates instead of a half-parsed tuple replaying garbage).
 package recovery
 
 import (
@@ -21,7 +27,22 @@ type Report struct {
 	RedoApplied  int // redo records replayed
 	UndoApplied  int // undo records revoked
 	Discarded    int // flush-bit-1 records of committed transactions
+	Quarantined  int // torn/corrupt records the checked scan refused
 	TotalRecords int
+
+	// AppliedWrites counts data-region words written by this pass;
+	// Complete is false when Options.MaxWrites stopped the pass early
+	// (a simulated crash during recovery).
+	AppliedWrites int
+	Complete      bool
+}
+
+// Options tunes a recovery pass.
+type Options struct {
+	// MaxWrites stops the pass after this many applied words — a power
+	// failure during recovery itself (0 = run to completion). Recovery
+	// never mutates the log region, so a subsequent pass converges.
+	MaxWrites int
 }
 
 type txKey struct {
@@ -33,13 +54,19 @@ type txKey struct {
 // applies the resulting writes directly to the PM data region (recovery
 // I/O is not part of the evaluated run's traffic).
 func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
-	var rep Report
-	all := region.ScanAll()
+	return RecoverOpts(dev, region, Options{})
+}
+
+// RecoverOpts is Recover with fault-injection options.
+func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Report {
+	rep := Report{Complete: true}
+	all := region.ScanAllChecked()
 
 	// Pass 1: the ID tuples name the committed transactions (§III-G).
 	committed := make(map[txKey]bool)
-	for _, records := range all {
-		for _, im := range records {
+	for _, sr := range all {
+		rep.Quarantined += sr.Quarantined
+		for _, im := range sr.Images {
 			rep.TotalRecords++
 			if im.Kind == logging.ImageCommit {
 				committed[txKey{im.TID, im.TxID}] = true
@@ -48,13 +75,23 @@ func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
 		}
 	}
 
+	write := func(addr mem.Addr, w mem.Word) bool {
+		if opt.MaxWrites > 0 && rep.AppliedWrites >= opt.MaxWrites {
+			rep.Complete = false
+			return false
+		}
+		dev.PokeWord(addr, w)
+		rep.AppliedWrites++
+		return true
+	}
+
 	// Pass 2, per thread: replay committed redo in append order, then
 	// revoke uncommitted undo in reverse append order. Threads write
 	// disjoint words (isolation is software-provided, §III-A), so the
 	// per-thread ordering is the only one that matters.
-	for _, records := range all {
+	for _, sr := range all {
 		var undo []logging.Image
-		for _, im := range records {
+		for _, im := range sr.Images {
 			if im.Kind == logging.ImageCommit {
 				continue
 			}
@@ -68,10 +105,14 @@ func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
 				}
 				switch im.Kind {
 				case logging.ImageRedo:
-					dev.PokeWord(im.Addr, im.Data)
+					if !write(im.Addr, im.Data) {
+						return rep
+					}
 					rep.RedoApplied++
 				case logging.ImageUndoRedo:
-					dev.PokeWord(im.Addr, im.Data2)
+					if !write(im.Addr, im.Data2) {
+						return rep
+					}
 					rep.RedoApplied++
 				case logging.ImageUndo:
 					// An undo record of a committed transaction without
@@ -93,7 +134,9 @@ func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
 			}
 		}
 		for i := len(undo) - 1; i >= 0; i-- {
-			dev.PokeWord(undo[i].Addr, undo[i].Data)
+			if !write(undo[i].Addr, undo[i].Data) {
+				return rep
+			}
 			rep.UndoApplied++
 		}
 	}
@@ -101,11 +144,9 @@ func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
 }
 
 // VerifyWord checks one word of the recovered data region against an
-// expected value, returning a mismatch description or "".
-func VerifyWord(dev *pm.Device, addr mem.Addr, want mem.Word) (gotWrong mem.Word, ok bool) {
-	got := dev.PeekWord(addr)
-	if got != want {
-		return got, false
-	}
-	return 0, true
+// expected value. got is the durable value actually read; ok reports
+// whether it matches want.
+func VerifyWord(dev *pm.Device, addr mem.Addr, want mem.Word) (got mem.Word, ok bool) {
+	got = dev.PeekWord(addr)
+	return got, got == want
 }

@@ -167,8 +167,8 @@ func TestRecoverThreadsIndependent(t *testing.T) {
 func TestVerifyWord(t *testing.T) {
 	dev, _ := newDev()
 	dev.PokeWord(0xB00, 7)
-	if _, ok := VerifyWord(dev, 0xB00, 7); !ok {
-		t.Error("verify rejected correct word")
+	if got, ok := VerifyWord(dev, 0xB00, 7); !ok || got != 7 {
+		t.Errorf("verify rejected correct word (got=%d ok=%v)", got, ok)
 	}
 	if got, ok := VerifyWord(dev, 0xB00, 8); ok || got != 7 {
 		t.Error("verify accepted wrong word")
@@ -282,5 +282,117 @@ func TestRecoveryIdempotent(t *testing.T) {
 	}
 	if first.TotalRecords != second.TotalRecords {
 		t.Error("record counts differ between passes")
+	}
+}
+
+// TestTornCommitTupleQuarantined is the central robustness guarantee:
+// when the crash-flush battery dies mid-way through the commit ID
+// tuple, the torn record fails its CRC, is quarantined, and the
+// transaction is treated as UNCOMMITTED — its redo records are
+// discarded, never silently replayed against a half-durable commit.
+func TestTornCommitTupleQuarantined(t *testing.T) {
+	dev, region := newDev()
+	dev.PokeWord(0x100, 1) // pre-transaction value
+
+	// Battery: one full sealed redo record (18+3 B) plus 8 bytes — the
+	// 13 B sealed commit tuple that follows tears at word granularity.
+	sealedRedo := logging.UndoBytes + logging.SealBytes
+	dev.SetCrashEnergy(sealedRedo+8, true, true)
+	region.AppendAtCrash(0, []logging.Image{
+		{Kind: logging.ImageRedo, TID: 0, TxID: 7, Addr: 0x100, Data: 2},
+	})
+	region.AppendAtCrashCritical(0, []logging.Image{logging.CommitImage(0, 7)})
+	dev.ClearCrashEnergy()
+
+	rep := Recover(dev, region)
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the torn tuple)", rep.Quarantined)
+	}
+	if rep.CommittedTx != 0 {
+		t.Errorf("committed tx = %d, want 0: a torn tuple is no tuple", rep.CommittedTx)
+	}
+	if rep.RedoApplied != 0 || rep.Discarded == 0 {
+		t.Errorf("orphan redo handling wrong: %+v", rep)
+	}
+	if got := dev.PeekWord(0x100); got != 1 {
+		t.Errorf("data = %d, want pre-transaction 1 (redo must not replay)", got)
+	}
+}
+
+// TestTornRedoSuffixKeepsCommit: Silo's crash flush writes the commit
+// tuple BEFORE the pending redo records, so a torn suffix only ever
+// costs redundant redo — the committed transaction survives.
+func TestTornRedoSuffixKeepsCommit(t *testing.T) {
+	dev, region := newDev()
+	dev.PokeWord(0x100, 2) // IPU already durable (eager-apply PM)
+
+	sealedCommit := logging.CommitBytes + logging.SealBytes
+	dev.SetCrashEnergy(sealedCommit+8, true, false)
+	region.AppendAtCrashCritical(0, []logging.Image{logging.CommitImage(0, 7)})
+	region.AppendAtCrash(0, []logging.Image{
+		{Kind: logging.ImageRedo, TID: 0, TxID: 7, Addr: 0x100, Data: 2},
+	})
+	dev.ClearCrashEnergy()
+
+	rep := Recover(dev, region)
+	if rep.CommittedTx != 1 {
+		t.Errorf("committed tx = %d, want 1 (tuple flushed before redo)", rep.CommittedTx)
+	}
+	if got := dev.PeekWord(0x100); got != 2 {
+		t.Errorf("committed data lost: %d", got)
+	}
+}
+
+// TestMidRecoveryCrashConverges: recovery itself can lose power. A
+// bounded pass reports Complete=false; restarting from scratch with a
+// bigger battery converges to exactly the one-shot result, because
+// recovery never mutates the log.
+func TestMidRecoveryCrashConverges(t *testing.T) {
+	build := func() (*pm.Device, *logging.RegionWriter) {
+		dev, region := newDev()
+		dev.PokeWord(0x100, 1)
+		dev.PokeWord(0x200, 9)
+		dev.PokeWord(0x300, 9)
+		region.AppendAtCrash(0, []logging.Image{
+			{Kind: logging.ImageRedo, TID: 0, TxID: 7, Addr: 0x100, Data: 2},
+			logging.CommitImage(0, 7),
+			{Kind: logging.ImageUndo, TID: 0, TxID: 8, Addr: 0x200, Data: 4},
+			{Kind: logging.ImageUndo, TID: 0, TxID: 8, Addr: 0x300, Data: 5},
+		})
+		return dev, region
+	}
+
+	// Reference: one uninterrupted pass.
+	refDev, refRegion := build()
+	refRep := Recover(refDev, refRegion)
+	if !refRep.Complete {
+		t.Fatal("unbounded recovery reported incomplete")
+	}
+
+	// Crash-ridden: one applied word per attempt, doubling.
+	dev, region := build()
+	limit, restarts := 1, 0
+	var rep Report
+	for {
+		rep = RecoverOpts(dev, region, Options{MaxWrites: limit})
+		if rep.Complete {
+			break
+		}
+		if rep.AppliedWrites > limit {
+			t.Fatalf("pass applied %d words past its budget %d", rep.AppliedWrites, limit)
+		}
+		restarts++
+		limit *= 2
+	}
+	if restarts == 0 {
+		t.Fatal("MaxWrites=1 never interrupted a 3-write recovery")
+	}
+	for _, a := range []mem.Addr{0x100, 0x200, 0x300} {
+		if got, want := dev.PeekWord(a), refDev.PeekWord(a); got != want {
+			t.Errorf("word %#x = %d after re-crashed recovery, one-shot got %d", uint64(a), got, want)
+		}
+	}
+	if rep.CommittedTx != refRep.CommittedTx || rep.UndoApplied != refRep.UndoApplied {
+		t.Errorf("final pass report %+v differs from one-shot %+v", rep, refRep)
 	}
 }

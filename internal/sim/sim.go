@@ -143,6 +143,10 @@ type Engine struct {
 	mu      sync.Mutex
 	crashed bool
 
+	// Cycle-granular crash injection (ScheduleCrash).
+	crashAt     Cycle
+	crashInject func(now Cycle)
+
 	// Stats populated by Run.
 	coreTime  []Cycle
 	opsByKind [5]int64
@@ -164,6 +168,18 @@ func (e *Engine) Crash() {
 	e.mu.Lock()
 	e.crashed = true
 	e.mu.Unlock()
+}
+
+// ScheduleCrash arranges a power failure at the first scheduling point
+// whose core-local time is at or after cycle c — between operations of
+// the op stream, not quantized to op *counts*, so the same wall-clock
+// instant hits different designs inside different operations. inject is
+// called exactly once with the crash time (typically Machine.InjectCrash,
+// which performs the battery flush and calls Crash); the engine then
+// unwinds every core.
+func (e *Engine) ScheduleCrash(c Cycle, inject func(now Cycle)) {
+	e.crashAt = c
+	e.crashInject = inject
 }
 
 // Crashed reports whether a crash has been injected.
@@ -261,6 +277,16 @@ func (e *Engine) Run(programs []Program) Cycle {
 		slots[best].pending = nil
 
 		if e.Crashed() {
+			req.resp <- Result{Latency: -1}
+			continue
+		}
+		if e.crashInject != nil && e.coreTime[best] >= e.crashAt {
+			inject := e.crashInject
+			e.crashInject = nil
+			inject(e.coreTime[best])
+			if !e.Crashed() {
+				e.Crash()
+			}
 			req.resp <- Result{Latency: -1}
 			continue
 		}

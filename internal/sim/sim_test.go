@@ -268,3 +268,50 @@ func TestEngineZeroCoresClamped(t *testing.T) {
 		t.Error("clamped single-core engine misbehaved")
 	}
 }
+
+func TestEngineScheduleCrash(t *testing.T) {
+	exec := &recordingExec{}
+	e := NewEngine(exec, 2, 1)
+	var fired []Cycle
+	e.ScheduleCrash(50, func(now Cycle) { fired = append(fired, now) })
+	progs := make([]Program, 2)
+	for i := range progs {
+		progs[i] = func(ctx *Ctx) {
+			for k := 0; k < 1000; k++ {
+				ctx.Compute(7)
+			}
+		}
+	}
+	e.Run(progs)
+	if !e.Crashed() {
+		t.Fatal("engine not crashed")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("inject called %d times, want 1", len(fired))
+	}
+	if fired[0] < 50 || fired[0] > 50+7 {
+		t.Errorf("crash at cycle %d, want first scheduling point >= 50", fired[0])
+	}
+	// The op holding the crash never executed; time stopped at the crash.
+	for _, r := range exec.ops {
+		if r.now >= fired[0] {
+			t.Errorf("op executed at %d, at/after the crash point %d", r.now, fired[0])
+		}
+	}
+}
+
+func TestEngineScheduleCrashInjectMayCrashItself(t *testing.T) {
+	// An inject hook that calls Crash() directly (as the machine does)
+	// must not crash twice or deadlock.
+	e := NewEngine(&recordingExec{}, 1, 1)
+	n := 0
+	e.ScheduleCrash(10, func(now Cycle) { n++; e.Crash() })
+	e.Run([]Program{func(ctx *Ctx) {
+		for k := 0; k < 100; k++ {
+			ctx.Compute(5)
+		}
+	}})
+	if n != 1 || !e.Crashed() {
+		t.Errorf("inject ran %d times, crashed=%v", n, e.Crashed())
+	}
+}
