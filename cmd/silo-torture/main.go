@@ -4,26 +4,38 @@
 // failure, a bounded crash-flush energy budget that can tear the last
 // record at word granularity, and optional mid-recovery re-crashes —
 // then recovers and verifies every transactional word against the
-// machine's golden committed shadow.
+// machine's golden committed shadow. The runtime invariant auditor is
+// on inside every campaign unless -audit=false.
 //
-// Sweep mode:
+// Sweep mode (resumable fleet):
 //
-//	silo-torture -seed 1 -campaigns 200 -designs Base,FWB,MorLog,LAD,Silo
+//	silo-torture -seed 1 -campaigns 5000 -out sweep.jsonl
+//	# ... SIGINT drains the fleet and prints the resume command ...
+//	silo-torture -seed 1 -campaigns 5000 -out sweep.jsonl -resume sweep.jsonl
 //
 // Repro mode (replay one schedule, e.g. from a failure's repro line):
 //
 //	silo-torture -designs Silo -workloads Hash -cores 2 -txns 48 \
 //	    -seed 12345 -plan "trigger=commit,at=3,budget=64,tear=1,recrash=5"
+//
+// Exit codes: 0 all campaigns verified clean; 1 atomic durability
+// violated (or an audit invariant fired); 2 configuration error;
+// 3 infra-only failures (watchdog kills, host flakes — no durability
+// verdict); 130 interrupted before completion.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"silo/internal/fault"
 	"silo/internal/harness"
+	"silo/internal/sim"
 )
 
 func main() {
@@ -39,6 +51,14 @@ func main() {
 		flips     = flag.Bool("flips", false, "admit log media bit flips (detected by CRCs, but data loss possible)")
 		shrink    = flag.Bool("shrink", true, "shrink failing campaigns to minimal reproducers")
 		planStr   = flag.String("plan", "", "replay exactly this crash schedule instead of deriving one per campaign")
+
+		audit     = flag.Bool("audit", true, "runtime invariant auditor inside every campaign")
+		out       = flag.String("out", "", "append one JSON line per completed campaign to this file")
+		resume    = flag.String("resume", "", "JSONL file from a previous run; completed campaign indices are not re-executed")
+		wall      = flag.Duration("wall", 2*time.Minute, "per-campaign wall-clock watchdog (0 disables)")
+		maxCycles = flag.Int64("maxcycles", 1<<31, "per-campaign sim-cycle watchdog (0 disables)")
+		retries   = flag.Int("retries", 2, "retries for infra failures (watchdog kills, host flakes)")
+		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -59,58 +79,164 @@ func main() {
 		AllowStrict:   *strict,
 		AllowBitFlips: *flips,
 		Shrink:        *shrink,
+		Parallel:      *parallel,
+		DisableAudit:  !*audit,
+	}
+	if *wall == 0 {
+		cfg.WallBudget = -1
+	} else {
+		cfg.WallBudget = *wall
+	}
+	if *maxCycles == 0 {
+		cfg.MaxCycles = -1
+	} else {
+		cfg.MaxCycles = sim.Cycle(*maxCycles)
+	}
+	if *retries >= 0 {
+		cfg.Retries = *retries
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = -1 // harness: <0 means no retries, 0 means default
 	}
 
 	if *planStr != "" {
-		plan, err := fault.ParsePlan(*planStr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "silo-torture:", err)
-			os.Exit(2)
-		}
-		if plan.Seed == 0 {
-			plan.Seed = *seed
-		}
-		c := harness.Campaign{Spec: harness.Spec{
-			Design:   cfg.Designs[0],
-			Workload: cfg.Workloads[0],
-			Cores:    cfg.Cores,
-			Txns:     cfg.Txns,
-			Seed:     *seed,
-		}, Plan: plan}
-		out := harness.RunCampaign(c)
-		fmt.Printf("campaign: %s on %s, plan %s\n", c.Spec.Design, c.Spec.Workload, plan.String())
-		fmt.Printf("  crashed mid-run: %v, committed: %d\n", out.MidRun, out.Commits)
-		fmt.Printf("  recovery: %d tx, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d re-crashes\n",
-			out.Report.CommittedTx, out.Report.RedoApplied, out.Report.UndoApplied,
-			out.Report.Quarantined, out.Torn, out.Dropped, out.Restarts)
-		if out.Err != nil {
-			fmt.Fprintln(os.Stderr, "silo-torture:", out.Err)
-			os.Exit(1)
-		}
-		if len(out.Mismatches) == 0 {
-			fmt.Println("  atomic durability HELD")
-			return
-		}
-		fmt.Printf("  atomic durability VIOLATED: %d mismatches\n", len(out.Mismatches))
-		for i, m := range out.Mismatches {
-			if i == 10 {
-				fmt.Println("    ...")
-				break
-			}
-			fmt.Println("   ", m)
-		}
-		os.Exit(1)
+		os.Exit(reproMode(cfg, *planStr, *seed))
 	}
+
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := harness.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("reading %s: %w", *resume, err))
+		}
+		cfg.Resume = recs
+		fmt.Fprintf(os.Stderr, "silo-torture: resuming, %d campaigns already done\n", len(recs))
+	}
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		outFile = f
+		defer outFile.Close()
+		cfg.OnRecord = func(r harness.Record) {
+			if err := harness.WriteRecord(outFile, r); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-torture: writing record:", err)
+			}
+		}
+	}
+
+	// First SIGINT drains the fleet (in-flight campaigns finish, queued
+	// ones are skipped); a second one exits immediately.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-torture: draining (campaigns in flight will finish; interrupt again to abort)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-torture: aborted")
+		os.Exit(130)
+	}()
 
 	res, err := harness.Torture(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "silo-torture:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	fmt.Print(res.Summary())
-	if !res.Ok() {
+	switch {
+	case !res.Ok():
 		os.Exit(1)
+	case res.Interrupted:
+		resumeCmd := resumeCommand(*out)
+		fmt.Fprintf(os.Stderr, "silo-torture: interrupted; resume with:\n  %s\n", resumeCmd)
+		os.Exit(130)
+	case len(res.Infra) > 0:
+		os.Exit(3)
 	}
+}
+
+// resumeCommand renders the exact command that continues an interrupted
+// sweep: the original arguments plus -resume pointing at the stream.
+func resumeCommand(out string) string {
+	args := make([]string, 0, len(os.Args)+2)
+	args = append(args, os.Args...)
+	if out == "" {
+		return strings.Join(args, " ") + "   # re-run (no -out stream was kept)"
+	}
+	has := false
+	for _, a := range args[1:] {
+		if a == "-resume" || strings.HasPrefix(a, "-resume=") {
+			has = true
+		}
+	}
+	if !has {
+		args = append(args, "-resume", out)
+	}
+	return strings.Join(args, " ")
+}
+
+func reproMode(cfg harness.TortureConfig, planStr string, seed int64) int {
+	plan, err := fault.ParsePlan(planStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-torture:", err)
+		return 2
+	}
+	if plan.Seed == 0 {
+		plan.Seed = seed
+	}
+	c := harness.Campaign{Spec: harness.Spec{
+		Design:       cfg.Designs[0],
+		Workload:     cfg.Workloads[0],
+		Cores:        cfg.Cores,
+		Txns:         cfg.Txns,
+		Seed:         seed,
+		DisableAudit: cfg.DisableAudit,
+	}, Plan: plan}
+	out := harness.RunCampaignContained(c)
+	fmt.Printf("campaign: %s on %s, plan %s\n", c.Spec.Design, c.Spec.Workload, plan.String())
+	fmt.Printf("  crashed mid-run: %v, committed: %d\n", out.MidRun, out.Commits)
+	fmt.Printf("  recovery: %d tx, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d re-crashes\n",
+		out.Report.CommittedTx, out.Report.RedoApplied, out.Report.UndoApplied,
+		out.Report.Quarantined, out.Torn, out.Dropped, out.Restarts)
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, "silo-torture:", out.Err)
+		if out.Invariant != "" {
+			fmt.Fprintf(os.Stderr, "  invariant: %s\n", out.Invariant)
+			for _, e := range out.Trail {
+				fmt.Fprintf(os.Stderr, "  trail: %s\n", e)
+			}
+		}
+		if harness.IsInfra(out.Err) {
+			return 3
+		}
+		return 1
+	}
+	if len(out.Mismatches) == 0 {
+		fmt.Println("  atomic durability HELD")
+		return 0
+	}
+	fmt.Printf("  atomic durability VIOLATED: %d mismatches\n", len(out.Mismatches))
+	for i, m := range out.Mismatches {
+		if i == 10 {
+			fmt.Println("    ...")
+			break
+		}
+		fmt.Println("   ", m)
+	}
+	return 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-torture:", err)
+	os.Exit(2)
 }
 
 func splitCSV(s string) []string {

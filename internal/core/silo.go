@@ -28,6 +28,17 @@ type Options struct {
 	// SingleEntryOverflow evicts one entry at a time instead of the
 	// batched N = ⌊S/18⌋ eviction (§III-F ablation).
 	SingleEntryOverflow bool
+
+	// DebugSkipFlushBit deliberately skips setting flush-bits on
+	// cacheline eviction — a seeded §III-D bug the audit layer must
+	// catch (it causes no data corruption, only protocol violation:
+	// the post-commit flush redundantly rewrites the same values).
+	DebugSkipFlushBit bool
+	// DebugRedoBeforeCommit deliberately inverts the §III-G crash-flush
+	// order, streaming redo records before the commit ID tuple — a
+	// seeded bug the audit layer must catch at the crash flush itself
+	// (golden-shadow only sees it if the tuple then happens to tear).
+	DebugRedoBeforeCommit bool
 }
 
 type coreState struct {
@@ -265,6 +276,9 @@ func contiguousRuns(entries []logging.Entry) []wordRun {
 // their new data is not redundantly flushed after commit.
 func (s *Silo) CachelineEvicted(now sim.Cycle, la mem.Addr, data [mem.LineSize]byte) {
 	s.env.PM.Write(now, la, data[:])
+	if s.opts.DebugSkipFlushBit {
+		return
+	}
 	for c := range s.cores {
 		st := &s.cores[c]
 		if !st.inTx {
@@ -305,19 +319,34 @@ func (s *Silo) Crash(now sim.Cycle) {
 			s.env.Region.AppendAtCrashCritical(c, images)
 			s.crashFlushedImages += int64(len(images))
 		case st.pending:
-			s.env.Region.AppendAtCrashCritical(c,
-				[]logging.Image{logging.CommitImage(uint8(c), st.txid)})
 			var images []logging.Image
 			for _, e := range st.buf.Entries() {
 				if !e.FlushBit {
 					images = append(images, e.RedoImage())
 				}
 			}
-			s.env.Region.AppendAtCrash(c, images)
+			tuple := []logging.Image{logging.CommitImage(uint8(c), st.txid)}
+			if s.opts.DebugRedoBeforeCommit {
+				s.env.Region.AppendAtCrash(c, images)
+				s.env.Region.AppendAtCrashCritical(c, tuple)
+			} else {
+				s.env.Region.AppendAtCrashCritical(c, tuple)
+				s.env.Region.AppendAtCrash(c, images)
+			}
 			s.crashFlushedImages += int64(len(images)) + 1
 		}
 	}
 }
+
+// LogBuffer exposes core's log buffer for the audit layer (read-only
+// discipline: auditors inspect, never mutate).
+func (s *Silo) LogBuffer(core int) *logging.Buffer { return s.cores[core].buf }
+
+// InTx reports whether core has an open transaction (audit layer).
+func (s *Silo) InTx(core int) bool { return s.cores[core].inTx }
+
+// MergeEnabled reports whether comparator merging is active (§III-C).
+func (s *Silo) MergeEnabled() bool { return !s.opts.DisableMerge }
 
 // CollectStats implements logging.Design.
 func (s *Silo) CollectStats(r *stats.Run) {

@@ -68,6 +68,13 @@ type Spec struct {
 
 	// Trace, when non-nil, records every operation of the run.
 	Trace *trace.Writer
+
+	// MaxCycles arms the engine's sim-cycle watchdog (0 disables): a run
+	// whose clock reaches the budget is crashed and unwound.
+	MaxCycles sim.Cycle
+
+	// DisableAudit turns off the runtime invariant layer (benchmarks).
+	DisableAudit bool
 }
 
 // DesignFactory resolves a design name to its factory.
@@ -144,6 +151,9 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 		CrashAtOp: spec.CrashAtOp,
 		Fault:     spec.Fault,
 		Trace:     spec.Trace,
+
+		MaxCycles:    spec.MaxCycles,
+		DisableAudit: spec.DisableAudit,
 	})
 	if spec.OpsPerTx > 1 {
 		wl.SetOpsPerTx(spec.OpsPerTx)

@@ -1,16 +1,20 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"silo/internal/audit"
 	"silo/internal/fault"
 	"silo/internal/machine"
 	"silo/internal/recovery"
+	"silo/internal/sim"
 )
 
 // TortureConfig parameterizes a crash-storm campaign sweep: every
@@ -41,6 +45,47 @@ type TortureConfig struct {
 	Shrink bool
 
 	Parallel int // concurrent campaigns (0 → GOMAXPROCS)
+
+	// DisableAudit turns off the runtime invariant layer inside every
+	// campaign (the sweep then only has the golden shadow).
+	DisableAudit bool
+
+	// MaxCycles is the per-campaign sim-cycle watchdog: a campaign whose
+	// simulated clock reaches it is killed as livelocked and reported as
+	// an infra failure (default 1<<31 cycles ≈ 1 simulated second; < 0
+	// disables).
+	MaxCycles sim.Cycle
+
+	// WallBudget is the per-campaign wall-clock watchdog (default 2m;
+	// < 0 disables). A campaign that exceeds it is abandoned — its
+	// goroutine is leaked by design, the only containment Go offers for
+	// a wedged computation — and reported as an infra failure.
+	WallBudget time.Duration
+
+	// Retries bounds re-runs of campaigns that failed for infra reasons
+	// (watchdogs, host flakes); verification failures are deterministic
+	// and never retried (default 2; < 0 disables).
+	Retries int
+	// Backoff is the base delay between retries, doubling each attempt
+	// (default 50ms).
+	Backoff time.Duration
+
+	// Resume maps campaign index → completed record from a previous
+	// run's JSONL stream; those campaigns are not re-executed, and the
+	// final aggregates are byte-identical to an uninterrupted sweep.
+	Resume map[int]Record
+
+	// OnRecord, when non-nil, receives every freshly completed
+	// campaign's record (checkpoint streaming). Calls are serialized.
+	OnRecord func(Record)
+
+	// Stop, when non-nil and closed, drains the sweep: campaigns not yet
+	// started are skipped and the partial aggregates returned.
+	Stop <-chan struct{}
+
+	// Run overrides the campaign executor (fleet tests); default
+	// RunCampaign. Torture wraps it in panic containment either way.
+	Run func(Campaign) CampaignOutcome
 }
 
 func (c *TortureConfig) defaults() {
@@ -61,6 +106,21 @@ func (c *TortureConfig) defaults() {
 	}
 	if c.Parallel <= 0 {
 		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 1 << 31
+	}
+	if c.WallBudget == 0 {
+		c.WallBudget = 2 * time.Minute
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 50 * time.Millisecond
 	}
 }
 
@@ -100,6 +160,10 @@ func MakeCampaign(cfg TortureConfig, i int) Campaign {
 	}
 	totalOps := int64(cfg.Txns) * (2 + 8*opsPerTx)
 	plan := fault.Random(rng, totalOps, cfg.AllowStrict, cfg.AllowBitFlips)
+	spec.DisableAudit = cfg.DisableAudit
+	if cfg.MaxCycles > 0 {
+		spec.MaxCycles = cfg.MaxCycles
+	}
 	return Campaign{Index: i, Spec: spec, Plan: plan}
 }
 
@@ -114,11 +178,37 @@ type CampaignOutcome struct {
 	Restarts   int   // mid-recovery re-crashes survived
 	Torn       int64 // crash-flush records torn by the energy budget
 	Dropped    int64 // crash-flush records dropped entirely
+
+	// Invariant names the audit invariant that fired (empty otherwise);
+	// Trail is the auditor's ring-buffered event trail at that moment,
+	// or a bounded stack excerpt for a non-audit panic.
+	Invariant string
+	Trail     []string
+
+	Panicked bool // the campaign goroutine panicked (contained)
+	TimedOut bool // a watchdog (wall-clock or sim-cycle) killed it
+	Infra    bool // Err is an infra failure, not a durability verdict
+	Attempts int  // executions including retries (0 for resumed records)
 }
 
 // Failed reports whether the campaign violated atomic durability (or
 // could not run at all).
 func (o CampaignOutcome) Failed() bool { return o.Err != nil || len(o.Mismatches) > 0 }
+
+// InfraError marks a campaign failure caused by the host or the harness
+// (watchdog kills, resource flakes) rather than by the design under
+// test; the fleet retries these with backoff and CI distinguishes them
+// from durability bugs by exit code.
+type InfraError struct{ Err error }
+
+func (e InfraError) Error() string { return "infra: " + e.Err.Error() }
+func (e InfraError) Unwrap() error { return e.Err }
+
+// IsInfra reports whether err is (or wraps) an InfraError.
+func IsInfra(err error) bool {
+	var ie InfraError
+	return errors.As(err, &ie)
+}
 
 // VerifyRecovery checks every word any transaction ever wrote against
 // the machine's golden committed shadow and returns the mismatches in
@@ -154,6 +244,13 @@ func RunCampaign(c Campaign) CampaignOutcome {
 		out.Err = err
 		return out
 	}
+	if m.WatchdogFired() {
+		// The sim-cycle budget killed a livelocked run; no battery flush
+		// ran, so there is no durability verdict to extract.
+		out.Err = InfraError{fmt.Errorf("sim-cycle watchdog: no progress to completion within %d cycles", spec.MaxCycles)}
+		out.TimedOut = true
+		return out
+	}
 	out.MidRun = m.Crashed()
 	if !out.MidRun {
 		// The schedule never fired mid-run; the power still goes out.
@@ -183,19 +280,75 @@ func RunCampaign(c Campaign) CampaignOutcome {
 	out.Mismatches = VerifyRecovery(m)
 
 	// Idempotence: a second full pass over the same log must change
-	// nothing.
+	// nothing. The comparison is by mismatch *content*, not count — a
+	// second pass corrupting different words of equal count is just as
+	// broken — and first-pass mismatches are never dropped.
 	second := recovery.Recover(m.Device(), m.Region())
-	if again := VerifyRecovery(m); len(again) > len(out.Mismatches) {
-		out.Mismatches = append(again,
-			"second recovery pass changed the data region (not idempotent)")
-	} else if second.TotalRecords != out.Report.TotalRecords ||
-		second.Quarantined != out.Report.Quarantined {
-		out.Mismatches = append(out.Mismatches, fmt.Sprintf(
-			"second recovery pass scanned differently: %d/%d records, %d/%d quarantined",
-			second.TotalRecords, out.Report.TotalRecords,
-			second.Quarantined, out.Report.Quarantined))
-	}
+	again := VerifyRecovery(m)
+	out.Mismatches = append(out.Mismatches, audit.CompareRecoveryPasses(
+		out.Mismatches, again,
+		out.Report.TotalRecords, second.TotalRecords,
+		out.Report.Quarantined, second.Quarantined)...)
 	return out
+}
+
+// RunCampaignContained is RunCampaign behind the fleet's panic
+// containment: an audit violation or stray panic becomes a failed
+// outcome carrying the invariant name and event trail.
+func RunCampaignContained(c Campaign) CampaignOutcome {
+	return runContained(RunCampaign, c, 0)
+}
+
+// runContained executes run(c) on its own goroutine, converting panics
+// into failed outcomes and enforcing the wall-clock watchdog (wall <= 0
+// disables). On timeout the campaign goroutine is abandoned — leaked by
+// design; Go offers no way to kill a wedged computation — and an infra
+// failure is returned.
+func runContained(run func(Campaign) CampaignOutcome, c Campaign, wall time.Duration) CampaignOutcome {
+	done := make(chan CampaignOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out := CampaignOutcome{Campaign: c, Panicked: true}
+				if v, ok := r.(*audit.Violation); ok {
+					out.Err = v
+					out.Invariant = v.Invariant
+					out.Trail = v.Trail
+				} else {
+					out.Err = fmt.Errorf("panic: %v", r)
+					out.Trail = stackTrail()
+				}
+				done <- out
+			}
+		}()
+		done <- run(c)
+	}()
+	if wall <= 0 {
+		return <-done
+	}
+	timer := time.NewTimer(wall)
+	defer timer.Stop()
+	select {
+	case out := <-done:
+		return out
+	case <-timer.C:
+		return CampaignOutcome{
+			Campaign: c,
+			Err:      InfraError{fmt.Errorf("wall-clock watchdog: campaign still running after %v", wall)},
+			TimedOut: true,
+		}
+	}
+}
+
+// stackTrail returns a bounded stack excerpt for non-audit panics.
+func stackTrail() []string {
+	buf := make([]byte, 8<<10)
+	n := runtime.Stack(buf, false)
+	lines := strings.Split(strings.TrimRight(string(buf[:n]), "\n"), "\n")
+	if len(lines) > 24 {
+		lines = lines[:24]
+	}
+	return lines
 }
 
 // Shrink reduces a failing campaign to a minimal reproducer: bisect the
@@ -203,7 +356,16 @@ func RunCampaign(c Campaign) CampaignOutcome {
 // features one at a time, keeping each reduction only if the campaign
 // still fails.
 func Shrink(c Campaign) Campaign {
-	fails := func(tc Campaign) bool { return RunCampaign(tc).Failed() }
+	return shrinkWith(c, func(tc Campaign) bool {
+		// Contained: a shrink trial that panics (audit violation) is a
+		// failing trial, not a dead process. Infra kills don't count as
+		// failing — keeping a reduction on a timeout would be wrong.
+		out := RunCampaignContained(tc)
+		return !IsInfra(out.Err) && out.Failed()
+	})
+}
+
+func shrinkWith(c Campaign, fails func(Campaign) bool) Campaign {
 	for c.Spec.Txns > 1 {
 		trial := c
 		trial.Spec.Txns = c.Spec.Txns / 2
@@ -256,9 +418,19 @@ type TortureResult struct {
 	Dropped       int64
 	Restarts      int
 	Failures      []TortureFailure
+
+	// Infra lists campaigns that never produced a durability verdict
+	// (watchdog kills, host flakes) after exhausting retries; they do
+	// not fail Ok() but CI surfaces them with a distinct exit code.
+	Infra []TortureFailure
+
+	// Skipped counts campaigns never started because Stop drained the
+	// sweep; Interrupted is set when that happened.
+	Skipped     int
+	Interrupted bool
 }
 
-// Ok reports whether every campaign verified clean.
+// Ok reports whether every campaign that ran verified clean.
 func (r TortureResult) Ok() bool { return len(r.Failures) == 0 }
 
 // Summary renders the sweep as a short report, with a repro line per
@@ -269,6 +441,15 @@ func (r TortureResult) Summary() string {
 		r.Campaigns, r.MidRunCrashes, r.Commits)
 	fmt.Fprintf(&b, "recovery: %d tx recovered, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d mid-recovery re-crashes\n",
 		r.RecoveredTx, r.RedoApplied, r.UndoApplied, r.Quarantined, r.Torn, r.Dropped, r.Restarts)
+	if r.Skipped > 0 {
+		fmt.Fprintf(&b, "interrupted: %d campaigns skipped (resume to finish them)\n", r.Skipped)
+	}
+	for _, f := range r.Infra {
+		o := f.Outcome
+		fmt.Fprintf(&b, "infra: campaign %d (%s on %s, %d attempts): %v\n",
+			o.Campaign.Index, o.Campaign.Spec.Design, o.Campaign.Spec.Workload, o.Attempts, o.Err)
+		fmt.Fprintf(&b, "    repro: %s\n", o.Campaign.Repro())
+	}
 	if r.Ok() {
 		b.WriteString("result: PASS (zero post-recovery mismatches)\n")
 		return b.String()
@@ -287,6 +468,15 @@ func (r TortureResult) Summary() string {
 			}
 			fmt.Fprintf(&b, " %d mismatches: %s\n", n, strings.Join(show, "; "))
 		}
+		if o.Invariant != "" {
+			tail := o.Trail
+			if len(tail) > 4 {
+				tail = tail[len(tail)-4:]
+			}
+			for _, e := range tail {
+				fmt.Fprintf(&b, "    trail: %s\n", e)
+			}
+		}
 		fmt.Fprintf(&b, "    repro: %s\n", o.Campaign.Repro())
 		if f.Shrunk != nil {
 			fmt.Fprintf(&b, "    shrunk: %s\n", f.Shrunk.Repro())
@@ -295,31 +485,101 @@ func (r TortureResult) Summary() string {
 	return b.String()
 }
 
-// Torture runs the campaign sweep. Campaigns are independent
-// simulations, so they execute in parallel across host CPUs; results
-// are deterministic regardless of parallelism.
+// Torture runs the campaign sweep as a hardened fleet: campaigns are
+// independent simulations executing in parallel across host CPUs, each
+// behind panic containment, wall-clock and sim-cycle watchdogs, and
+// bounded infra retries. Results are deterministic regardless of
+// parallelism, and — with Resume — regardless of interruption.
 func Torture(cfg TortureConfig) (TortureResult, error) {
 	cfg.defaults()
+	run := cfg.Run
+	if run == nil {
+		run = RunCampaign
+	}
 	outcomes := make([]CampaignOutcome, cfg.Campaigns)
+	skipped := make([]bool, cfg.Campaigns)
+
+	var recMu sync.Mutex
+	emit := func(out CampaignOutcome) {
+		if cfg.OnRecord == nil {
+			return
+		}
+		recMu.Lock()
+		defer recMu.Unlock()
+		cfg.OnRecord(OutcomeRecord(out))
+	}
+	stopping := func() bool {
+		if cfg.Stop == nil {
+			return false
+		}
+		select {
+		case <-cfg.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
+	var resumeErr error
+	var resumeErrOnce sync.Once
 	for i := 0; i < cfg.Campaigns; i++ {
+		idx := cfg.Offset + i
+		if rec, ok := cfg.Resume[idx]; ok {
+			out, err := rec.Outcome()
+			if err != nil {
+				resumeErrOnce.Do(func() { resumeErr = fmt.Errorf("torture: resume record %d: %w", idx, err) })
+				continue
+			}
+			outcomes[i] = out
+			continue
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i, idx int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			outcomes[i] = RunCampaign(MakeCampaign(cfg, cfg.Offset+i))
-		}(i)
+			if stopping() {
+				skipped[i] = true
+				return
+			}
+			c := MakeCampaign(cfg, idx)
+			var out CampaignOutcome
+			for attempt := 0; ; attempt++ {
+				out = runContained(run, c, cfg.WallBudget)
+				out.Attempts = attempt + 1
+				if !IsInfra(out.Err) || attempt >= cfg.Retries {
+					break
+				}
+				time.Sleep(cfg.Backoff << attempt)
+			}
+			out.Infra = IsInfra(out.Err)
+			outcomes[i] = out
+			emit(out)
+		}(i, idx)
 	}
 	wg.Wait()
+	if resumeErr != nil {
+		return TortureResult{}, resumeErr
+	}
 
+	// Aggregate in campaign-index order, so summaries are byte-identical
+	// whether the sweep ran straight through or was resumed.
 	var res TortureResult
 	res.Campaigns = cfg.Campaigns
-	for _, o := range outcomes {
+	for i, o := range outcomes {
+		if skipped[i] {
+			res.Skipped++
+			continue
+		}
+		if o.Infra {
+			res.Infra = append(res.Infra, TortureFailure{Outcome: o})
+			continue
+		}
 		if o.Err != nil {
-			// A campaign that cannot even run is a config error worth
-			// failing the whole sweep for.
+			// A campaign that cannot even run — config error or audit
+			// violation — fails the whole sweep.
 			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
 			continue
 		}
@@ -338,12 +598,18 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
 		}
 	}
+	res.Interrupted = res.Skipped > 0
 	if cfg.Shrink {
+		fails := func(tc Campaign) bool {
+			out := runContained(run, tc, cfg.WallBudget)
+			return !IsInfra(out.Err) && out.Failed()
+		}
 		for i := range res.Failures {
-			if res.Failures[i].Outcome.Err != nil {
-				continue
+			o := res.Failures[i].Outcome
+			if o.Err != nil && o.Invariant == "" {
+				continue // config errors and stray panics don't shrink
 			}
-			s := Shrink(res.Failures[i].Outcome.Campaign)
+			s := shrinkWith(o.Campaign, fails)
 			res.Failures[i].Shrunk = &s
 		}
 	}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A record must survive the JSONL roundtrip with enough fidelity that a
+// resumed sweep aggregates it exactly as if the campaign had just run.
+func TestRecordRoundtrip(t *testing.T) {
+	cfg := TortureConfig{Seed: 11, Campaigns: 1, Txns: 8}
+	out := RunCampaignContained(MakeCampaign(cfg, 0))
+	if IsInfra(out.Err) {
+		t.Fatalf("campaign infra-failed: %v", out.Err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, OutcomeRecord(out)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := recs[0]
+	if !ok {
+		t.Fatalf("record for index 0 missing: %v", recs)
+	}
+	back, err := rec.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Campaign.Repro() != out.Campaign.Repro() {
+		t.Errorf("repro changed:\n%s\n%s", back.Campaign.Repro(), out.Campaign.Repro())
+	}
+	if back.Commits != out.Commits || back.MidRun != out.MidRun ||
+		back.Torn != out.Torn || back.Dropped != out.Dropped ||
+		back.Report != out.Report {
+		t.Errorf("counters changed:\n%+v\n%+v", back, out)
+	}
+	if len(back.Mismatches) != len(out.Mismatches) {
+		t.Errorf("mismatches changed: %v vs %v", back.Mismatches, out.Mismatches)
+	}
+}
+
+// The checkpoint reader must tolerate the torn tail of an interrupted
+// stream, let later duplicates win (retried campaigns), and drop infra
+// records so a resumed sweep re-executes them.
+func TestReadRecordsSkipsTornTailAndInfra(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"index":0,"design":"Silo","workload":"Array","cores":1,"txns":4,"seed":1,"plan":"trigger=none","repro":"r0","report":{},"attempts":1,"commits":3}` + "\n")
+	buf.WriteString(`{"index":0,"design":"Silo","workload":"Array","cores":1,"txns":4,"seed":1,"plan":"trigger=none","repro":"r0","report":{},"attempts":2,"commits":4}` + "\n")
+	buf.WriteString(`{"index":5,"design":"Silo","workload":"Array","cores":1,"txns":4,"seed":1,"plan":"trigger=none","repro":"r5","report":{},"attempts":3,"err":"infra: watchdog","infra":true}` + "\n")
+	buf.WriteString("\n")
+	buf.WriteString(`{"index":7,"design":"Si`) // process died mid-write
+
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %v, want only index 0", recs)
+	}
+	if recs[0].Commits != 4 || recs[0].Attempts != 2 {
+		t.Errorf("later duplicate did not win: %+v", recs[0])
+	}
+	if _, ok := recs[5]; ok {
+		t.Error("infra record survived; resume would skip retrying it")
+	}
+}
+
+// A sweep whose every campaign was resumed from records runs nothing and
+// still renders a full summary.
+func TestFleetFullyResumedSweep(t *testing.T) {
+	base := TortureConfig{Seed: 9, Campaigns: 4, Txns: 8, Shrink: false}
+	var buf bytes.Buffer
+	cfg := base
+	cfg.OnRecord = func(r Record) { // OnRecord calls are serialized
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Error(err)
+		}
+	}
+	full, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.Resume = recs
+	cfg.Run = func(c Campaign) CampaignOutcome {
+		t.Errorf("campaign %d re-executed despite full checkpoint", c.Index)
+		return CampaignOutcome{Campaign: c}
+	}
+	resumed, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Summary() != resumed.Summary() {
+		t.Errorf("fully-resumed summary differs:\n%s\nvs\n%s", full.Summary(), resumed.Summary())
+	}
+	if !strings.Contains(resumed.Summary(), "torture: 4 campaigns") {
+		t.Errorf("summary malformed:\n%s", resumed.Summary())
+	}
+}

@@ -38,6 +38,12 @@ type RegionWriter struct {
 	// record count) — the hook fault injection uses to trigger a crash
 	// mid-overflow-eviction. Crash flushes do not fire it.
 	OnAppend func(tid, images int)
+
+	// OnCrashAppend, when non-nil, observes every crash-flush append
+	// *before* the energy budget is consumed — the intended flush, which
+	// is what ordering and battery-sizing invariants are about (whether
+	// the budget then tears it is a separate, legal fault).
+	OnCrashAppend func(tid int, critical bool, images []Image)
 }
 
 // NewRegionWriter lays out one log area per thread.
@@ -107,6 +113,9 @@ func (w *RegionWriter) AppendAtCrashCritical(tid int, images []Image) {
 }
 
 func (w *RegionWriter) appendAtCrash(tid int, images []Image, critical bool) {
+	if w.OnCrashAppend != nil {
+		w.OnCrashAppend(tid, critical, images)
+	}
 	var scratch [MaxSealedBytes]byte
 	for i, im := range images {
 		n := im.Seal(scratch[:], w.seq[tid])

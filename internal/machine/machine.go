@@ -7,11 +7,13 @@ package machine
 import (
 	"math/rand"
 
+	"silo/internal/audit"
 	"silo/internal/cache"
 	"silo/internal/fault"
 	"silo/internal/logging"
 	"silo/internal/mem"
 	"silo/internal/pm"
+	"silo/internal/recovery"
 	"silo/internal/sim"
 	"silo/internal/stats"
 	"silo/internal/trace"
@@ -39,6 +41,15 @@ type Config struct {
 
 	// Trace, when non-nil, records every executed operation.
 	Trace *trace.Writer
+
+	// MaxCycles arms the engine's sim-cycle watchdog: a run whose clock
+	// reaches this budget is crashed and unwound (0 disables). The
+	// torture fleet uses it to kill livelocked campaigns.
+	MaxCycles sim.Cycle
+
+	// DisableAudit turns off the runtime invariant layer (benchmarks;
+	// the auditor costs host wall-clock, never simulated cycles).
+	DisableAudit bool
 }
 
 // Machine is the simulated system for one run.
@@ -49,6 +60,9 @@ type Machine struct {
 	region *logging.RegionWriter
 	design logging.Design
 	engine *sim.Engine
+
+	aud       *audit.Auditor
+	bufDesign audit.BufferedDesign // non-nil when design is buffer-based (Silo)
 
 	inTx      []bool
 	pending   []map[mem.Addr]mem.Word // per-core uncommitted writes (golden)
@@ -115,6 +129,13 @@ func New(cfg Config) *Machine {
 		PersistPath:   cfg.PersistPath,
 	}
 	m.design = cfg.Design(env)
+	m.aud = audit.New(!cfg.DisableAudit)
+	if bd, ok := m.design.(audit.BufferedDesign); ok {
+		m.bufDesign = bd
+	}
+	if m.aud.Enabled() {
+		m.region.OnCrashAppend = m.aud.ObserveCrashAppend
+	}
 	m.plan = cfg.Fault
 	if m.plan == nil && cfg.CrashAtOp > 0 {
 		m.plan = &fault.Plan{Trigger: fault.TriggerOp, AtOp: cfg.CrashAtOp}
@@ -137,9 +158,19 @@ func (m *Machine) Engine(seed int64) *sim.Engine {
 		if m.plan != nil && m.plan.Trigger == fault.TriggerCycle {
 			m.engine.ScheduleCrash(m.plan.AtCycle, m.InjectCrash)
 		}
+		if m.cfg.MaxCycles > 0 {
+			m.engine.SetWatchdog(m.cfg.MaxCycles)
+		}
 	}
 	return m.engine
 }
+
+// Auditor exposes the runtime invariant layer (trail inspection after a
+// violation, overhead accounting).
+func (m *Machine) Auditor() *audit.Auditor { return m.aud }
+
+// WatchdogFired reports whether the sim-cycle watchdog killed the run.
+func (m *Machine) WatchdogFired() bool { return m.engine != nil && m.engine.WatchdogFired() }
 
 // Device exposes the PM device (tests and recovery verification).
 func (m *Machine) Device() *pm.Device { return m.dev }
@@ -181,6 +212,15 @@ func (m *Machine) fill(la mem.Addr, now sim.Cycle) ([mem.LineSize]byte, sim.Cycl
 
 func (m *Machine) writeback(now sim.Cycle, la mem.Addr, data [mem.LineSize]byte) {
 	m.design.CachelineEvicted(now, la, data)
+	// §III-D: the eviction just carried this line's data to PM, so every
+	// in-flight log entry covering it must now have its flush-bit set.
+	if m.bufDesign != nil && m.aud.Enabled() {
+		for c := 0; c < m.cfg.Cores; c++ {
+			if m.bufDesign.InTx(c) {
+				m.aud.CheckFlushBits(c, m.bufDesign.LogBuffer(c), la)
+			}
+		}
+	}
 }
 
 // Exec implements sim.Executor.
@@ -206,6 +246,9 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 		old, lat := m.hier.Store(core, op.Addr, op.Data, now)
 		extra := m.design.Store(core, op.Addr, old, op.Data, now+lat)
 		m.storeStall += int64(extra)
+		if m.bufDesign != nil && m.inTx[core] {
+			m.aud.CheckLogBuffer(core, m.bufDesign.LogBuffer(core), m.bufDesign.MergeEnabled(), op.Addr)
+		}
 		if m.inTx[core] {
 			if _, seen := m.baseline[op.Addr]; !seen {
 				m.baseline[op.Addr] = old
@@ -230,6 +273,24 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 		m.inTx[core] = false
 		m.commits++
 		m.txStoreAcc += int64(len(m.pending[core]))
+		if m.aud.Enabled() {
+			m.aud.Eventf("tx-end: core=%d commit=%d words=%d now=%d", core, m.commits, len(m.pending[core]), now)
+			if m.bufDesign != nil {
+				// Log-as-Data: when Tx_end returns, every word of the
+				// transaction is already durable (WPQ-accepted in-place
+				// update or cacheline eviction). Words also written
+				// outside transactions are unverifiable and skipped.
+				for a, v := range m.pending[core] {
+					if !m.unsafeW[a] {
+						m.aud.CheckCommitDurability(core, a, v, m.dev.PeekWord(a))
+					}
+				}
+			}
+			for ch := 0; ch < m.dev.Channels(); ch++ {
+				q := m.dev.WPQ(ch)
+				m.aud.CheckWPQ(ch, q.Occupancy(now), q.Capacity())
+			}
+		}
 		for a, v := range m.pending[core] {
 			m.committed[a] = v
 			delete(m.pending[core], a)
@@ -265,14 +326,68 @@ func (m *Machine) shouldCrash() bool {
 // domains) survives untouched, except for the plan's optional bit-flip
 // media faults against the log region.
 func (m *Machine) InjectCrash(now sim.Cycle) {
+	auditing := m.aud.Enabled()
+	persistor, _ := m.design.(logging.CachePersistor)
+	persistCaches := persistor != nil && persistor.PersistCachesAtCrash()
+
+	// Snapshot the durable data region before the crash sequence runs:
+	// power failures must conserve it exactly. Platforms that battery-back
+	// the caches may additionally overwrite a word with a value some core
+	// had stored (the dirty-line flush); nothing else is legal.
+	var before map[mem.Addr]mem.Word
+	var allowed map[mem.Addr][]mem.Word
+	if auditing {
+		m.aud.BeginCrashFlush()
+		m.aud.Eventf("inject-crash: now=%d commits=%d ops=%d", now, m.commits, m.opCount)
+		before = make(map[mem.Addr]mem.Word)
+		for _, a := range m.WrittenWords() {
+			before[a] = m.dev.PeekWord(a)
+		}
+		if persistCaches {
+			allowed = make(map[mem.Addr][]mem.Word, len(before))
+			for a := range before {
+				if v, ok := m.baseline[a]; ok {
+					allowed[a] = append(allowed[a], v)
+				}
+				if v, ok := m.committed[a]; ok {
+					allowed[a] = append(allowed[a], v)
+				}
+				for c := range m.pending {
+					if v, ok := m.pending[c][a]; ok {
+						allowed[a] = append(allowed[a], v)
+					}
+				}
+			}
+		}
+	}
+
 	if m.plan != nil {
 		m.dev.SetCrashEnergy(m.plan.FlushBudget, m.plan.TearWords, m.plan.StrictBudget)
 	}
 	m.design.Crash(now)
-	if p, ok := m.design.(logging.CachePersistor); ok && p.PersistCachesAtCrash() {
+	if persistCaches {
 		m.hier.ForceWriteBackAll(now)
 	}
 	m.hier.InvalidateAll()
+
+	if auditing {
+		if rem, bounded := m.dev.CrashEnergyRemaining(); bounded {
+			m.aud.CheckEnergyLedger(rem)
+		}
+		if m.bufDesign != nil {
+			// Table IV sizes the battery reserve for a full buffer of
+			// undo logs plus one commit ID tuple, sealed.
+			budget := int64(m.cfg.LogBuf)*int64(logging.UndoBytes+logging.SealBytes) +
+				int64(logging.CommitBytes+logging.SealBytes)
+			for c := 0; c < m.cfg.Cores; c++ {
+				m.aud.CheckCriticalBudget(c, budget)
+			}
+		}
+		for a, b := range before {
+			m.aud.CheckConservation(a, b, m.dev.PeekWord(a), allowed[a])
+		}
+	}
+
 	if m.plan != nil {
 		if m.plan.BitFlips > 0 {
 			rng := rand.New(rand.NewSource(m.plan.Seed ^ 0x0b17f115))
@@ -281,6 +396,27 @@ func (m *Machine) InjectCrash(now sim.Cycle) {
 		// Power is gone; the budget must not throttle recovery's writes.
 		m.dev.ClearCrashEnergy()
 	}
+
+	// Post-commit durability: every committed word must be reconstructible
+	// from what is durable right now — the data region overlaid with the
+	// writes a recovery pass would resolve from the log region. Skipped
+	// under beyond-spec faults that may legally lose committed work
+	// (strict battery budgets, log media bit flips).
+	if auditing && (m.plan == nil || (!m.plan.StrictBudget && m.plan.BitFlips == 0)) {
+		resolved := recovery.Resolved(m.region)
+		for _, a := range m.WrittenWords() {
+			want, ok := m.GoldenCommitted(a)
+			if !ok {
+				continue
+			}
+			got, has := resolved[a]
+			if !has {
+				got = m.dev.PeekWord(a)
+			}
+			m.aud.CheckReconstructible(a, want, got)
+		}
+	}
+
 	if m.engine != nil {
 		m.engine.Crash()
 	}

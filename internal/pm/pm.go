@@ -140,6 +140,16 @@ func (d *Device) SetCrashEnergy(budgetBytes int, tearWords, strict bool) {
 // are not battery-bounded.
 func (d *Device) ClearCrashEnergy() { d.energy = crashEnergy{} }
 
+// CrashEnergyRemaining reports the bytes left in an armed, bounded crash
+// budget; bounded is false when no finite budget is armed (either power
+// is on or the battery is modeled as correctly provisioned).
+func (d *Device) CrashEnergyRemaining() (remaining int, bounded bool) {
+	if !d.energy.armed || d.energy.unlimited {
+		return 0, false
+	}
+	return d.energy.remaining, true
+}
+
 // CrashAllowance consumes budget for an n-byte crash-flush write and
 // returns how many of its leading bytes survive: n (fits), 0 (dropped),
 // or a word-rounded prefix length (torn). critical marks records the

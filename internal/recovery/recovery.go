@@ -60,8 +60,39 @@ func Recover(dev *pm.Device, region *logging.RegionWriter) Report {
 // RecoverOpts is Recover with fault-injection options.
 func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Report {
 	rep := Report{Complete: true}
-	all := region.ScanAllChecked()
+	write := func(addr mem.Addr, w mem.Word) bool {
+		if opt.MaxWrites > 0 && rep.AppliedWrites >= opt.MaxWrites {
+			rep.Complete = false
+			return false
+		}
+		dev.PokeWord(addr, w)
+		rep.AppliedWrites++
+		return true
+	}
+	walk(region.ScanAllChecked(), &rep, write)
+	return rep
+}
 
+// Resolved runs the recovery procedure *symbolically*: the writes a full
+// pass would apply, as a map, without touching the device. The audit
+// layer uses it at crash time to prove every committed word is
+// reconstructible from the durable domains (durable data overlaid with
+// the resolved log writes) before recovery itself ever runs.
+func Resolved(region *logging.RegionWriter) map[mem.Addr]mem.Word {
+	var rep Report
+	m := make(map[mem.Addr]mem.Word)
+	walk(region.ScanAllChecked(), &rep, func(a mem.Addr, w mem.Word) bool {
+		m[a] = w
+		return true
+	})
+	return m
+}
+
+// walk is the recovery procedure over an already-scanned log region,
+// with the data-region writes abstracted behind apply; apply returning
+// false aborts the walk immediately (a power failure mid-recovery). The
+// counters in rep reflect exactly the work performed up to that point.
+func walk(all []logging.ScanResult, rep *Report, apply func(mem.Addr, mem.Word) bool) {
 	// Pass 1: the ID tuples name the committed transactions (§III-G).
 	committed := make(map[txKey]bool)
 	for _, sr := range all {
@@ -73,16 +104,6 @@ func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Repo
 				rep.CommittedTx++
 			}
 		}
-	}
-
-	write := func(addr mem.Addr, w mem.Word) bool {
-		if opt.MaxWrites > 0 && rep.AppliedWrites >= opt.MaxWrites {
-			rep.Complete = false
-			return false
-		}
-		dev.PokeWord(addr, w)
-		rep.AppliedWrites++
-		return true
 	}
 
 	// Pass 2, per thread: replay committed redo in append order, then
@@ -105,13 +126,13 @@ func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Repo
 				}
 				switch im.Kind {
 				case logging.ImageRedo:
-					if !write(im.Addr, im.Data) {
-						return rep
+					if !apply(im.Addr, im.Data) {
+						return
 					}
 					rep.RedoApplied++
 				case logging.ImageUndoRedo:
-					if !write(im.Addr, im.Data2) {
-						return rep
+					if !apply(im.Addr, im.Data2) {
+						return
 					}
 					rep.RedoApplied++
 				case logging.ImageUndo:
@@ -134,13 +155,12 @@ func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Repo
 			}
 		}
 		for i := len(undo) - 1; i >= 0; i-- {
-			if !write(undo[i].Addr, undo[i].Data) {
-				return rep
+			if !apply(undo[i].Addr, undo[i].Data) {
+				return
 			}
 			rep.UndoApplied++
 		}
 	}
-	return rep
 }
 
 // VerifyWord checks one word of the recovered data region against an

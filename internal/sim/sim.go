@@ -147,6 +147,10 @@ type Engine struct {
 	crashAt     Cycle
 	crashInject func(now Cycle)
 
+	// Sim-cycle watchdog (SetWatchdog).
+	watchdog      Cycle
+	watchdogFired bool
+
 	// Stats populated by Run.
 	coreTime  []Cycle
 	opsByKind [5]int64
@@ -181,6 +185,17 @@ func (e *Engine) ScheduleCrash(c Cycle, inject func(now Cycle)) {
 	e.crashAt = c
 	e.crashInject = inject
 }
+
+// SetWatchdog arms a sim-cycle budget: when any core's local clock
+// reaches c the engine crashes the machine and unwinds every program, so
+// a livelocked campaign (a commit protocol that never acks, a queue that
+// never drains) terminates deterministically instead of spinning its
+// host forever. Zero disables the watchdog.
+func (e *Engine) SetWatchdog(c Cycle) { e.watchdog = c }
+
+// WatchdogFired reports whether the sim-cycle watchdog terminated the
+// run.
+func (e *Engine) WatchdogFired() bool { return e.watchdogFired }
 
 // Crashed reports whether a crash has been injected.
 func (e *Engine) Crashed() bool {
@@ -277,6 +292,12 @@ func (e *Engine) Run(programs []Program) Cycle {
 		slots[best].pending = nil
 
 		if e.Crashed() {
+			req.resp <- Result{Latency: -1}
+			continue
+		}
+		if e.watchdog > 0 && e.coreTime[best] >= e.watchdog {
+			e.watchdogFired = true
+			e.Crash()
 			req.resp <- Result{Latency: -1}
 			continue
 		}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+type spinExec struct{}
+
+func (spinExec) Exec(core int, op Op, now Cycle) Result { return Result{Latency: 1} }
+
+// A program that never terminates must be crashed and unwound once the
+// sim clock reaches the watchdog budget, instead of hanging the host.
+func TestWatchdogKillsLivelockedProgram(t *testing.T) {
+	e := NewEngine(spinExec{}, 1, 1)
+	e.SetWatchdog(10_000)
+	done := make(chan struct{})
+	go func() {
+		e.Run([]Program{func(ctx *Ctx) {
+			for {
+				ctx.Compute(1)
+			}
+		}})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("watchdog did not unwind the livelocked program")
+	}
+	if !e.WatchdogFired() {
+		t.Error("WatchdogFired not reported")
+	}
+	if !e.Crashed() {
+		t.Error("watchdog kill did not mark the engine crashed")
+	}
+}
+
+// A program that finishes under budget must not trip the watchdog.
+func TestWatchdogQuietOnNormalCompletion(t *testing.T) {
+	e := NewEngine(spinExec{}, 1, 1)
+	e.SetWatchdog(10_000)
+	e.Run([]Program{func(ctx *Ctx) { ctx.Compute(100) }})
+	if e.WatchdogFired() || e.Crashed() {
+		t.Error("watchdog fired on a run that finished under budget")
+	}
+}
