@@ -24,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: config, table1, table4, fig4, fig11, fig12, fig13, fig14, fig15, ordering, latency, eadr, hotspot, recovery, all")
-		txns   = flag.Int("txns", 1250, "transactions per core (grid experiments) / total (others)")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		cores  = flag.String("cores", "1,2,4,8", "core counts for fig11/fig12")
-		fcors  = flag.Int("fig-cores", 8, "core count for fig14/fig15")
-		format = flag.String("format", "table", "output format: table, chart, csv, json")
+		exp      = flag.String("exp", "all", "experiment: config, table1, table4, fig4, fig11, fig12, fig13, fig14, fig15, ordering, latency, eadr, hotspot, recovery, bench, all")
+		txns     = flag.Int("txns", 1250, "transactions per core (grid experiments) / total (others)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		cores    = flag.String("cores", "1,2,4,8", "core counts for fig11/fig12")
+		fcors    = flag.Int("fig-cores", 8, "core count for fig14/fig15")
+		format   = flag.String("format", "table", "output format: table, chart, csv, json")
+		benchOut = flag.String("bench-out", "", "with -exp bench: write the machine-readable snapshot (BENCH_silo.json) here")
 	)
 	flag.Parse()
 
@@ -142,6 +143,28 @@ func main() {
 			fatal(err)
 		}
 		show(t)
+	}
+	if *exp == "bench" {
+		// The perf snapshot is not part of -exp all: it is the committed
+		// BENCH_silo.json trend artifact, regenerated deliberately.
+		rep, err := harness.Bench(*fcors, *txns, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "silo-bench: snapshot written to %s\n", *benchOut)
+		}
+		show(rep.Table())
 	}
 	if want("recovery") {
 		t, err := harness.RecoverySweep("Silo", "Hash", 2, *txns, *seed, nil)

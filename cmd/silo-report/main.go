@@ -99,6 +99,17 @@ func main() {
 	section("Commit latency distributions (extension)")
 	table(harness.Latency("Btree", 2, *txns, *seed))
 
+	section("Execution timeline (telemetry extension)")
+	sampler, _, err := harness.Timeline(harness.Spec{
+		Design: "Silo", Workload: "Btree", Cores: 2, Txns: *txns, Seed: *seed,
+		DisableAudit: true,
+	}, 20_000)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "Silo on Btree, 2 cores, 20 k-cycle windows — where commits, evictions,\noverflows and WPQ pressure landed inside the run:\n\n")
+	fmt.Fprintf(w, "```\n%s```\n", sampler.Table())
+
 	section("eADR software logging (§II-C, extension)")
 	table(harness.EADRStudy("YCSB", 2, *txns, *seed))
 

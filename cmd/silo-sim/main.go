@@ -6,6 +6,13 @@
 // Usage:
 //
 //	silo-sim -design Silo -workload TPCC -cores 8 -txns 10000
+//	silo-sim -design Silo -workload Btree -telemetry trace.json
+//	silo-sim -design Silo -workload Btree -metrics-interval 100000
+//
+// -telemetry records the run as a Chrome trace-event file: open it at
+// ui.perfetto.dev to see one transaction track per core plus WPQ-depth
+// and log-buffer-occupancy counter tracks. -metrics-interval folds the
+// same probe stream into fixed-width windows and prints the time series.
 package main
 
 import (
@@ -14,13 +21,16 @@ import (
 	"os"
 	"strings"
 
-	"silo"
+	"silo/internal/core"
+	"silo/internal/harness"
+	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 func main() {
 	var (
-		design   = flag.String("design", "Silo", "design: "+strings.Join(silo.ExtendedDesigns(), ", "))
-		wl       = flag.String("workload", "Btree", "workload: "+strings.Join(silo.Workloads(), ", ")+", TPCC-Mix, Rtree, Ctrie, TATP, Bank, Sweep<N>")
+		design   = flag.String("design", "Silo", "design: "+strings.Join(harness.ExtendedDesignNames(), ", "))
+		wl       = flag.String("workload", "Btree", "workload: "+strings.Join(harness.WorkloadNames(), ", ")+", TPCC-Mix, Rtree, Ctrie, TATP, Bank, Sweep<N>")
 		cores    = flag.Int("cores", 1, "simulated cores (1 thread per core)")
 		txns     = flag.Int("txns", 10000, "total transactions, split across cores")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -29,23 +39,58 @@ func main() {
 		logLat   = flag.Int("loglat", 0, "log buffer access latency in cycles (0 = 8)")
 		noMerge  = flag.Bool("no-merge", false, "disable Silo log merging (ablation)")
 		noIgnore = flag.Bool("no-ignore", false, "disable Silo log ignorance (ablation)")
+		telOut   = flag.String("telemetry", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this file")
+		interval = flag.Int64("metrics-interval", 0, "fold telemetry into windows of this many cycles and print the series (0 = off)")
 	)
 	flag.Parse()
 
-	res, err := silo.Run(silo.Config{
-		Design:           *design,
-		Workload:         *wl,
-		Cores:            *cores,
-		Transactions:     *txns,
-		Seed:             *seed,
-		OpsPerTx:         *ops,
-		LogBufferEntries: *logBuf,
-		LogBufferLatency: *logLat,
-		Silo:             silo.SiloOptions{DisableMerge: *noMerge, DisableIgnore: *noIgnore},
-	})
+	spec := harness.Spec{
+		Design:        *design,
+		Workload:      *wl,
+		Cores:         *cores,
+		Txns:          *txns,
+		Seed:          *seed,
+		OpsPerTx:      *ops,
+		LogBufEntries: *logBuf,
+		LogBufLatency: sim.Cycle(*logLat),
+		SiloOpts:      core.Options{DisableMerge: *noMerge, DisableIgnore: *noIgnore},
+	}
+
+	var (
+		ct      *telemetry.ChromeTrace
+		traceF  *os.File
+		sampler *telemetry.IntervalSampler
+		sinks   []telemetry.Sink
+	)
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceF = f
+		ct = telemetry.NewChromeTrace(f)
+		sinks = append(sinks, ct)
+	}
+	if *interval > 0 {
+		sampler = telemetry.NewIntervalSampler(sim.Cycle(*interval))
+		sinks = append(sinks, sampler)
+	}
+	if len(sinks) > 0 {
+		spec.Telemetry = telemetry.NewRecorder(sinks...)
+	}
+
+	res, err := harness.Run(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "silo-sim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if ct != nil {
+		if err := ct.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceF.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "silo-sim: telemetry timeline written to %s (open at ui.perfetto.dev)\n", *telOut)
 	}
 
 	fmt.Printf("design=%s workload=%s cores=%d seed=%d\n", *design, *wl, *cores, *seed)
@@ -69,6 +114,27 @@ func main() {
 	fmt.Printf("  L2 hit rate          %12.2f%%\n", rate(res.L2Hits, res.L2Misses))
 	fmt.Printf("  L3 hit rate          %12.2f%%\n", rate(res.L3Hits, res.L3Misses))
 	fmt.Printf("  LLC writebacks       %12d\n", res.Writebacks)
+
+	if spec.Telemetry != nil {
+		if snap := spec.Telemetry.Metrics().Snapshot(); len(snap) > 0 {
+			fmt.Println("telemetry metrics:")
+			for _, m := range snap {
+				switch m.Kind {
+				case "histogram":
+					fmt.Printf("  %-24s n=%d p50=%.0f p99=%.0f max=%d mean=%.1f\n",
+						m.Name, m.Value, m.P50, m.P99, m.Max, m.Mean)
+				case "gauge":
+					fmt.Printf("  %-24s %d (max %d)\n", m.Name, m.Value, m.Max)
+				default:
+					fmt.Printf("  %-24s %d\n", m.Name, m.Value)
+				}
+			}
+		}
+	}
+	if sampler != nil {
+		fmt.Println("timeline windows:")
+		fmt.Print(sampler.Table())
+	}
 }
 
 func rate(hits, misses int64) float64 {
@@ -76,4 +142,9 @@ func rate(hits, misses int64) float64 {
 		return 0
 	}
 	return 100 * float64(hits) / float64(hits+misses)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silo-sim:", err)
+	os.Exit(1)
 }

@@ -27,8 +27,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -59,8 +62,43 @@ func main() {
 		maxCycles = flag.Int64("maxcycles", 1<<31, "per-campaign sim-cycle watchdog (0 disables)")
 		retries   = flag.Int("retries", 2, "retries for infra failures (watchdog kills, host flakes)")
 		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
+
+		traceDir   = flag.String("telemetry-dir", "", "re-run failing campaigns with telemetry and write DIR/campaign-<idx>.trace.json (Perfetto-loadable)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live fleet profiling")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-torture: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "silo-torture: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	// exit flushes the CPU profile before terminating: os.Exit skips
+	// deferred functions, so every exit path below must go through it.
+	stopProfile := func() {}
+	exit := func(code int) {
+		stopProfile()
+		os.Exit(code)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-torture: cpuprofile:", err)
+			}
+		}
+	}
 
 	if len(splitCSV(*designs)) == 0 {
 		*designs = strings.Join(harness.DesignNames(), ",")
@@ -81,6 +119,7 @@ func main() {
 		Shrink:        *shrink,
 		Parallel:      *parallel,
 		DisableAudit:  !*audit,
+		TraceDir:      *traceDir,
 	}
 	if *wall == 0 {
 		cfg.WallBudget = -1
@@ -100,7 +139,7 @@ func main() {
 	}
 
 	if *planStr != "" {
-		os.Exit(reproMode(cfg, *planStr, *seed))
+		exit(reproMode(cfg, *planStr, *seed))
 	}
 
 	if *resume != "" {
@@ -153,14 +192,15 @@ func main() {
 	fmt.Print(res.Summary())
 	switch {
 	case !res.Ok():
-		os.Exit(1)
+		exit(1)
 	case res.Interrupted:
 		resumeCmd := resumeCommand(*out)
 		fmt.Fprintf(os.Stderr, "silo-torture: interrupted; resume with:\n  %s\n", resumeCmd)
-		os.Exit(130)
+		exit(130)
 	case len(res.Infra) > 0:
-		os.Exit(3)
+		exit(3)
 	}
+	exit(0)
 }
 
 // resumeCommand renders the exact command that continues an interrupted

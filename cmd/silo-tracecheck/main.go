@@ -1,0 +1,64 @@
+// Command silo-tracecheck validates a Chrome trace-event file emitted by
+// the telemetry layer: the JSON must be well-formed, every track's
+// timestamps monotone, and every duration slice properly nested. CI runs
+// it over the artifact a short simulation records, so a probe regression
+// that produces an unloadable timeline fails the build instead of being
+// discovered inside Perfetto weeks later.
+//
+// Usage:
+//
+//	silo-tracecheck trace.json [more.json ...]
+//	silo-sim -telemetry /dev/stdout ... | silo-tracecheck -
+//
+// Exit status: 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"silo/internal/telemetry"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: silo-tracecheck <trace.json>... (or - for stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		var r io.Reader
+		name := path
+		if path == "-" {
+			r, name = os.Stdin, "<stdin>"
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silo-tracecheck:", err)
+				ok = false
+				continue
+			}
+			defer f.Close()
+			r = f
+		}
+		st, err := telemetry.ValidateChromeTrace(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silo-tracecheck: %s: INVALID: %v\n", name, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("%s: OK — %d events, %d tracks, %d counter series (B=%d E=%d i=%d C=%d)\n",
+			name, st.Events, st.Tracks, st.Counters,
+			st.ByPhase["B"], st.ByPhase["E"], st.ByPhase["i"], st.ByPhase["C"])
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

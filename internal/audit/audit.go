@@ -9,9 +9,16 @@
 //
 // The auditor checks each invariant at the step where it can first be
 // violated and fails fast: a violation panics with a *Violation carrying
-// the invariant's name and a ring-buffered trail of recent machine
-// events, which the torture harness converts into a TortureFailure with
-// the campaign's Repro() line instead of aborting the fleet.
+// the invariant's name, the violating cycle, and a ring-buffered trail of
+// recent machine events, which the torture harness converts into a
+// TortureFailure with the campaign's Repro() line instead of aborting the
+// fleet.
+//
+// The trail rides the machine's typed telemetry stream: the auditor is a
+// telemetry.Sink, so every probe event any layer emits lands in the ring
+// as a structured telemetry.Event (rendered to strings only when a
+// violation needs printing), and the event cycles keep the auditor's
+// clock current.
 //
 // Checks never alter simulated timing or statistics — the auditor costs
 // host wall-clock only, so benchmark *results* are identical with it on
@@ -25,6 +32,8 @@ import (
 
 	"silo/internal/logging"
 	"silo/internal/mem"
+	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // Named invariants, referenced by tests and by failure reports.
@@ -42,29 +51,35 @@ const (
 
 // Violation is the fail-fast panic value raised by a failed invariant.
 type Violation struct {
-	Invariant string   // one of the Inv* names
+	Invariant string    // one of the Inv* names
 	Message   string
-	Trail     []string // recent machine events, oldest first
+	Cycle     sim.Cycle // simulated cycle at which the invariant fired
+	Trail     []string  // recent machine events rendered, oldest first
+	Events    []telemetry.Event // the same trail, structured
 }
 
 // Error renders the violation without the trail (the harness prints the
 // trail separately, indented under the failure).
 func (v *Violation) Error() string {
-	return fmt.Sprintf("audit: invariant %s violated: %s", v.Invariant, v.Message)
+	return fmt.Sprintf("audit: invariant %s violated at cycle %d: %s", v.Invariant, v.Cycle, v.Message)
 }
 
-// trailSize bounds the ring-buffered event trail.
+// trailSize is the default ring capacity; TrailSize overrides it.
 const trailSize = 128
 
 // Auditor carries one simulated machine's invariant state. It is not
 // safe for concurrent use; the simulation engine serializes all hooks.
+// It implements telemetry.Sink, so grafting it onto the machine's
+// recorder feeds the trail from every instrumented layer.
 type Auditor struct {
 	enabled bool
 
-	ring []string
+	ring []telemetry.Event
 	next int
 	full bool
+	size int
 
+	now    sim.Cycle // latest cycle observed on the event stream
 	checks int64
 
 	// Per-crash-flush state (reset by BeginCrashFlush).
@@ -72,10 +87,27 @@ type Auditor struct {
 	crashCritical map[int]int64   // per-thread critical crash-flush bytes
 }
 
+// Option configures an Auditor at construction.
+type Option func(*Auditor)
+
+// TrailSize sets the event-ring capacity (minimum 1). Deep dives want
+// long trails; wide torture sweeps want short ones to bound memory.
+func TrailSize(n int) Option {
+	return func(a *Auditor) {
+		if n >= 1 {
+			a.size = n
+		}
+	}
+}
+
 // New returns an auditor; a disabled auditor turns every check into a
 // cheap no-op so call sites need no nil guards.
-func New(enabled bool) *Auditor {
-	return &Auditor{enabled: enabled}
+func New(enabled bool, opts ...Option) *Auditor {
+	a := &Auditor{enabled: enabled, size: trailSize}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
 }
 
 // Enabled reports whether checks are live.
@@ -91,34 +123,63 @@ func (a *Auditor) Checks() int64 {
 	return a.checks
 }
 
-// Eventf appends a formatted event to the ring-buffered trail.
-func (a *Auditor) Eventf(format string, args ...any) {
+// Event implements telemetry.Sink: typed probe events feed the trail
+// ring and advance the auditor's cycle clock, which stamps violations.
+func (a *Auditor) Event(e telemetry.Event) {
 	if !a.Enabled() {
 		return
 	}
-	e := fmt.Sprintf(format, args...)
-	if len(a.ring) < trailSize {
+	if e.Cycle > a.now {
+		a.now = e.Cycle
+	}
+	a.record(e)
+}
+
+func (a *Auditor) record(e telemetry.Event) {
+	if len(a.ring) < a.size {
 		a.ring = append(a.ring, e)
 		return
 	}
 	a.ring[a.next] = e
-	a.next = (a.next + 1) % trailSize
+	a.next = (a.next + 1) % a.size
 	a.full = true
 }
 
-// Trail returns the recorded events, oldest first.
-func (a *Auditor) Trail() []string {
+// Eventf appends a formatted annotation to the trail, stamped with the
+// latest cycle seen on the stream.
+func (a *Auditor) Eventf(format string, args ...any) {
+	if !a.Enabled() {
+		return
+	}
+	a.record(telemetry.Event{Cycle: a.now, Kind: telemetry.KNote, Core: -1, Note: fmt.Sprintf(format, args...)})
+}
+
+// TrailEvents returns the recorded events, oldest first, structured.
+func (a *Auditor) TrailEvents() []telemetry.Event {
 	if a == nil {
 		return nil
 	}
 	if !a.full {
-		out := make([]string, len(a.ring))
+		out := make([]telemetry.Event, len(a.ring))
 		copy(out, a.ring)
 		return out
 	}
-	out := make([]string, 0, trailSize)
+	out := make([]telemetry.Event, 0, a.size)
 	out = append(out, a.ring[a.next:]...)
 	out = append(out, a.ring[:a.next]...)
+	return out
+}
+
+// Trail returns the recorded events rendered to strings, oldest first.
+func (a *Auditor) Trail() []string {
+	events := a.TrailEvents()
+	if events == nil {
+		return nil
+	}
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.String()
+	}
 	return out
 }
 
@@ -126,7 +187,14 @@ func (a *Auditor) Trail() []string {
 func (a *Auditor) failf(invariant, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	a.Eventf("VIOLATION %s: %s", invariant, msg)
-	panic(&Violation{Invariant: invariant, Message: msg, Trail: a.Trail()})
+	events := a.TrailEvents()
+	panic(&Violation{
+		Invariant: invariant,
+		Message:   msg,
+		Cycle:     a.now,
+		Trail:     a.Trail(),
+		Events:    events,
+	})
 }
 
 // BufferedDesign is implemented by designs built around per-core
@@ -262,7 +330,8 @@ func (a *Auditor) ObserveCrashAppend(tid int, critical bool, images []logging.Im
 			a.crashCritical[tid] += int64(im.Size() + logging.SealBytes)
 		}
 	}
-	a.Eventf("crash-append: tid=%d critical=%v records=%d", tid, critical, len(images))
+	// No trail event here: the RegionWriter's KLogCrashFlush probe flows
+	// through the machine's recorder into this auditor's ring already.
 }
 
 // CheckCriticalBudget verifies the must-flush set stayed within the

@@ -7,6 +7,7 @@ import (
 
 	"silo/internal/logging"
 	"silo/internal/mem"
+	"silo/internal/telemetry"
 )
 
 // violation runs fn and returns the *Violation it panics with, failing
@@ -65,6 +66,66 @@ func TestViolationCarriesTrailAndName(t *testing.T) {
 	}
 	if !strings.HasPrefix(v.Trail[len(v.Trail)-1], "VIOLATION "+InvWPQ) {
 		t.Errorf("last trail event = %q", v.Trail[len(v.Trail)-1])
+	}
+}
+
+func TestTrailSizeOption(t *testing.T) {
+	a := New(true, TrailSize(4))
+	for i := 0; i < 10; i++ {
+		a.Eventf("e%d", i)
+	}
+	tr := a.Trail()
+	if len(tr) != 4 {
+		t.Fatalf("trail holds %d events, want 4", len(tr))
+	}
+	if tr[0] != "e6" || tr[3] != "e9" {
+		t.Errorf("trail = %v", tr)
+	}
+	// Degenerate sizes fall back to the default.
+	b := New(true, TrailSize(0))
+	for i := 0; i < trailSize+5; i++ {
+		b.Eventf("x")
+	}
+	if len(b.Trail()) != trailSize {
+		t.Errorf("TrailSize(0) trail holds %d", len(b.Trail()))
+	}
+}
+
+func TestAuditorIsTelemetrySink(t *testing.T) {
+	a := New(true)
+	var _ telemetry.Sink = a
+	r := telemetry.NewRecorder(a)
+	r.TxBegin(1, 500, 3)
+	r.WPQWrite(0, 640, 12, 4, 64)
+	a.Eventf("manual note")
+
+	events := a.TrailEvents()
+	if len(events) != 3 {
+		t.Fatalf("trail events = %+v", events)
+	}
+	if events[0].Kind != telemetry.KTxBegin || events[1].Kind != telemetry.KWPQWrite {
+		t.Errorf("typed events not retained: %+v", events)
+	}
+	// The Eventf note is stamped with the latest stream cycle.
+	if events[2].Cycle != 640 {
+		t.Errorf("note cycle = %d, want 640", events[2].Cycle)
+	}
+	// A violation carries the stream cycle and the structured events.
+	v := violation(t, func() { a.CheckWPQ(0, 65, 64) })
+	if v.Cycle != 640 {
+		t.Errorf("violation cycle = %d, want 640", v.Cycle)
+	}
+	if len(v.Events) != len(v.Trail) || v.Events[0].Kind != telemetry.KTxBegin {
+		t.Errorf("structured events missing: %d events vs %d trail", len(v.Events), len(v.Trail))
+	}
+	if !strings.Contains(v.Error(), "at cycle 640") {
+		t.Errorf("error lacks cycle: %q", v.Error())
+	}
+	// Disabled auditors ignore the stream.
+	d := New(false)
+	telemetry.NewRecorder(d).TxBegin(0, 1, 0)
+	if len(d.TrailEvents()) != 0 {
+		t.Error("disabled auditor recorded stream events")
 	}
 }
 

@@ -11,6 +11,7 @@ package cache
 import (
 	"silo/internal/mem"
 	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // Config sizes one cache level.
@@ -139,9 +140,13 @@ type Hierarchy struct {
 	l3        *Cache
 	fill      FillFn
 	writeback WritebackFn
+	tel       *telemetry.Recorder
 
 	Writebacks int64 // dirty LLC evictions
 }
+
+// SetTelemetry attaches the probe-event recorder (nil disables probes).
+func (h *Hierarchy) SetTelemetry(r *telemetry.Recorder) { h.tel = r }
 
 // NewHierarchy builds per-core L1/L2 and a shared L3.
 func NewHierarchy(cores int, cfg HierarchyConfig, fill FillFn, writeback WritebackFn) *Hierarchy {
@@ -221,6 +226,7 @@ func (h *Hierarchy) demote(fromLevel int, core int, ev Evicted, now sim.Cycle) {
 	case 3:
 		if ev.Dirty {
 			h.Writebacks++
+			h.tel.LLCEvict(now, ev.Addr)
 			h.writeback(now, ev.Addr, ev.Data)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"silo/internal/mem"
 	"silo/internal/sim"
 	"silo/internal/stats"
+	"silo/internal/telemetry"
 	"sort"
 )
 
@@ -68,6 +69,8 @@ type Silo struct {
 	overflows, flushBitSets  int64
 	crashFlushedImages       int64
 
+	tel *telemetry.Recorder
+
 	// Fig. 13 accumulators.
 	txCount      int64
 	sumTotal     int64
@@ -108,6 +111,10 @@ func Factory(opts Options) logging.Factory {
 // Name implements logging.Design.
 func (s *Silo) Name() string { return "Silo" }
 
+// SetTelemetry implements telemetry.Instrumented: the machine attaches
+// its recorder after the design factory has run.
+func (s *Silo) SetTelemetry(r *telemetry.Recorder) { s.tel = r }
+
 // BatchN returns the overflow batch size (exported for tests: 14 entries
 // for a 256 B on-PM-buffer line).
 func (s *Silo) BatchN() int { return s.batchN }
@@ -122,7 +129,7 @@ func (s *Silo) TxBegin(core int, now sim.Cycle) sim.Cycle {
 		if st.flushDoneAt > now {
 			stall = st.flushDoneAt - now
 		}
-		s.dealloc(core)
+		s.dealloc(core, now)
 	}
 	st.inTx = true
 	st.txid++
@@ -134,9 +141,13 @@ func (s *Silo) TxBegin(core int, now sim.Cycle) sim.Cycle {
 // dealloc frees the buffer after the background flush and truncates the
 // thread's log area if the committed transaction had overflowed (§III-F:
 // "the overflowed logs are deleted after commit if no crash occurs").
-func (s *Silo) dealloc(core int) {
+func (s *Silo) dealloc(core int, now sim.Cycle) {
 	st := &s.cores[core]
+	if n := st.buf.Len(); n > 0 {
+		s.tel.FlushBitClear(core, now, n)
+	}
 	st.buf.Reset()
+	s.tel.LogBufOcc(core, now, 0, st.buf.Cap())
 	st.pending = false
 	if st.overflowed {
 		s.env.Region.Truncate(core)
@@ -169,6 +180,7 @@ func (s *Silo) Store(core int, addr mem.Addr, old, new mem.Word, now sim.Cycle) 
 		s.overflow(core, now)
 	}
 	st.buf.Push(e)
+	s.tel.LogBufOcc(core, now, st.buf.Len(), st.buf.Cap())
 	return 0
 }
 
@@ -198,6 +210,8 @@ func (s *Silo) overflow(core int, now sim.Cycle) {
 	s.env.Region.Append(now, core, images)
 	st.overflowed = true
 	s.overflows++
+	s.tel.LogOverflow(core, now, len(evicted))
+	s.tel.LogBufOcc(core, now, st.buf.Len(), st.buf.Cap())
 }
 
 // TxEnd implements the commit protocol of §III-D: the log generator
@@ -284,12 +298,17 @@ func (s *Silo) CachelineEvicted(now sim.Cycle, la mem.Addr, data [mem.LineSize]b
 		if !st.inTx {
 			continue
 		}
+		set := 0
 		st.buf.MatchLine(la, func(e *logging.Entry) {
 			if !e.FlushBit {
 				e.FlushBit = true
 				s.flushBitSets++
+				set++
 			}
 		})
+		if set > 0 {
+			s.tel.FlushBitSet(c, now, la, set)
+		}
 	}
 }
 

@@ -3,6 +3,8 @@ package harness
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"silo/internal/audit"
 	"silo/internal/core"
 	"silo/internal/fault"
+	"silo/internal/telemetry"
 )
 
 // fleetConfig is a small sweep with a synthetic executor, so fleet
@@ -243,6 +246,59 @@ func TestFleetResumeByteIdenticalAggregates(t *testing.T) {
 	if full.Summary() != resumed.Summary() {
 		t.Errorf("aggregates differ after resume:\n--- full ---\n%s--- resumed ---\n%s",
 			full.Summary(), resumed.Summary())
+	}
+}
+
+// TraceDir re-runs only the failing campaigns with a Chrome-trace sink:
+// the failure gets a validated trace file and a summary pointer, the
+// passing campaigns get nothing.
+func TestFleetTracesFailingCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fleetConfig(3, func(c Campaign) CampaignOutcome {
+		// The trace re-run attaches a recorder via Spec.Telemetry; emit a
+		// tiny tx lifecycle through it so the recording has real events.
+		if tel := c.Spec.Telemetry; tel.Enabled() {
+			tel.TxBegin(0, 100, 0)
+			tel.TxCommit(0, 250, 10, 2, 150)
+		}
+		if c.Index == 1 {
+			return CampaignOutcome{Campaign: c, Mismatches: []string{"0x10 = 0 want 1"}}
+		}
+		return CampaignOutcome{Campaign: c}
+	})
+	cfg.TraceDir = dir
+	res, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1:\n%s", len(res.Failures), res.Summary())
+	}
+	p := res.Failures[0].TracePath
+	if want := filepath.Join(dir, "campaign-1.trace.json"); p != want {
+		t.Fatalf("trace path = %q, want %q", p, want)
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ts, err := telemetry.ValidateChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if ts.Events == 0 {
+		t.Error("trace recorded no events")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("trace dir holds %d files, want 1 (passing campaigns must not be traced)", len(entries))
+	}
+	if !strings.Contains(res.Summary(), p) {
+		t.Errorf("summary lacks the trace path:\n%s", res.Summary())
 	}
 }
 

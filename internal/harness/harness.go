@@ -19,6 +19,7 @@ import (
 	"silo/internal/pmheap"
 	"silo/internal/sim"
 	"silo/internal/stats"
+	"silo/internal/telemetry"
 	"silo/internal/tpcc"
 	"silo/internal/trace"
 	"silo/internal/workload"
@@ -75,6 +76,15 @@ type Spec struct {
 
 	// DisableAudit turns off the runtime invariant layer (benchmarks).
 	DisableAudit bool
+
+	// AuditTrail overrides the auditor's event-ring capacity (0 keeps
+	// the default).
+	AuditTrail int
+
+	// Telemetry, when non-nil, receives typed probe events from every
+	// machine layer (see internal/telemetry): attach a ChromeTrace sink
+	// for a Perfetto timeline or an IntervalSampler for windowed metrics.
+	Telemetry *telemetry.Recorder
 }
 
 // DesignFactory resolves a design name to its factory.
@@ -154,6 +164,8 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 
 		MaxCycles:    spec.MaxCycles,
 		DisableAudit: spec.DisableAudit,
+		AuditTrail:   spec.AuditTrail,
+		Telemetry:    spec.Telemetry,
 	})
 	if spec.OpsPerTx > 1 {
 		wl.SetOpsPerTx(spec.OpsPerTx)

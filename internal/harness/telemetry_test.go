@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"silo/internal/telemetry"
+)
+
+// Attaching telemetry sinks must not perturb the simulation: the run
+// record with a Chrome trace and an interval sampler recording is
+// byte-identical to the bare run (stats.Run is comparable, so == is the
+// full-struct check).
+func TestTelemetrySinksDoNotPerturbRun(t *testing.T) {
+	spec := Spec{Design: "Silo", Workload: "Btree", Cores: 2, Txns: 200, Seed: 9}
+	bare, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct := telemetry.NewChromeTrace(io.Discard)
+	sampler := telemetry.NewIntervalSampler(10_000)
+	spec.Telemetry = telemetry.NewRecorder(ct, sampler)
+	instrumented, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if bare != instrumented {
+		t.Fatalf("telemetry perturbed the run:\nbare:         %+v\ninstrumented: %+v", bare, instrumented)
+	}
+	if len(sampler.Windows()) == 0 {
+		t.Error("sampler saw no events on an instrumented run")
+	}
+}
+
+// An end-to-end recording of a real run must validate: well-formed JSON,
+// monotone per-track timestamps, balanced slices, and the tracks the
+// acceptance criteria name — per-core tx slices plus WPQ-depth and
+// log-buffer-occupancy counter series.
+func TestRecordedTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	ct := telemetry.NewChromeTrace(&buf)
+	spec := Spec{
+		Design: "Silo", Workload: "Btree", Cores: 2, Txns: 200, Seed: 9,
+		Telemetry: telemetry.NewRecorder(ct),
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("recorded trace does not validate: %v", err)
+	}
+	if st.Events == 0 || st.ByPhase["B"] == 0 || st.ByPhase["B"] != st.ByPhase["E"] {
+		t.Errorf("trace stats = %+v, want balanced non-zero tx slices", st)
+	}
+	for _, name := range []string{`"wpq-depth ch0"`, `"logbuf-occupancy core0"`, `"logbuf-occupancy core1"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("trace lacks counter series %s", name)
+		}
+	}
+}

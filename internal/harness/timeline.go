@@ -1,0 +1,21 @@
+package harness
+
+import (
+	"silo/internal/sim"
+	"silo/internal/stats"
+	"silo/internal/telemetry"
+)
+
+// Timeline runs one spec with an interval sampler attached and returns
+// the windowed time series alongside the run record — silo-report's
+// per-window view of where commits, evictions, overflows and WPQ stalls
+// landed inside the run.
+func Timeline(spec Spec, window sim.Cycle) (*telemetry.IntervalSampler, stats.Run, error) {
+	sampler := telemetry.NewIntervalSampler(window)
+	spec.Telemetry = spec.Telemetry.With(sampler)
+	r, err := Run(spec)
+	if err != nil {
+		return nil, stats.Run{}, err
+	}
+	return sampler, r, nil
+}

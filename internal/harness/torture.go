@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"silo/internal/machine"
 	"silo/internal/recovery"
 	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // TortureConfig parameterizes a crash-storm campaign sweep: every
@@ -43,6 +46,13 @@ type TortureConfig struct {
 
 	// Shrink reduces each failing campaign to a minimal reproducer.
 	Shrink bool
+
+	// TraceDir, when non-empty, re-runs every *failing* campaign with a
+	// Chrome-trace telemetry sink attached and writes the timeline to
+	// DIR/campaign-<idx>.trace.json (Perfetto-loadable). Passing
+	// campaigns are never traced — the sweep stays cheap, and only the
+	// runs someone will actually debug pay for a recording.
+	TraceDir string
 
 	Parallel int // concurrent campaigns (0 → GOMAXPROCS)
 
@@ -403,6 +413,9 @@ type TortureFailure struct {
 	Outcome CampaignOutcome
 	// Shrunk is the minimal reproducer (nil unless Shrink was on).
 	Shrunk *Campaign
+	// TracePath is the Chrome-trace recording of the failing run (empty
+	// unless TraceDir was set and the re-run produced one).
+	TracePath string
 }
 
 // TortureResult aggregates a campaign sweep.
@@ -480,6 +493,9 @@ func (r TortureResult) Summary() string {
 		fmt.Fprintf(&b, "    repro: %s\n", o.Campaign.Repro())
 		if f.Shrunk != nil {
 			fmt.Fprintf(&b, "    shrunk: %s\n", f.Shrunk.Repro())
+		}
+		if f.TracePath != "" {
+			fmt.Fprintf(&b, "    trace: %s\n", f.TracePath)
 		}
 	}
 	return b.String()
@@ -613,5 +629,44 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 			res.Failures[i].Shrunk = &s
 		}
 	}
+	if cfg.TraceDir != "" && len(res.Failures) > 0 {
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return res, fmt.Errorf("torture: trace dir: %w", err)
+		}
+		for i := range res.Failures {
+			res.Failures[i].TracePath = traceCampaign(cfg, run, res.Failures[i].Outcome.Campaign)
+		}
+	}
 	return res, nil
+}
+
+// traceCampaign re-executes one failing campaign with a Chrome-trace
+// telemetry sink attached and returns the written trace path ("" when
+// tracing could not complete). The re-run is deterministic — same
+// campaign, same schedule — so the recording shows the same failure;
+// it stays panic-contained, and a violation mid-run simply truncates
+// the trace at the crash, which is exactly the interesting tail.
+func traceCampaign(cfg TortureConfig, run func(Campaign) CampaignOutcome, c Campaign) string {
+	path := filepath.Join(cfg.TraceDir, fmt.Sprintf("campaign-%d.trace.json", c.Index))
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	ct := telemetry.NewChromeTrace(f)
+	c.Spec.Telemetry = telemetry.NewRecorder(ct)
+	out := runContained(run, c, cfg.WallBudget)
+	if out.TimedOut {
+		// The abandoned goroutine may still be writing; closing the
+		// trace under it would race. Leave the partial file behind but
+		// don't advertise it.
+		return ""
+	}
+	if err := ct.Close(); err != nil {
+		f.Close()
+		return ""
+	}
+	if err := f.Close(); err != nil {
+		return ""
+	}
+	return path
 }

@@ -6,6 +6,7 @@ import (
 	"silo/internal/mem"
 	"silo/internal/pm"
 	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // RegionWriter manages the distributed PM log region: each thread owns a
@@ -44,6 +45,10 @@ type RegionWriter struct {
 	// is what ordering and battery-sizing invariants are about (whether
 	// the budget then tears it is a separate, legal fault).
 	OnCrashAppend func(tid int, critical bool, images []Image)
+
+	// Tel receives typed probe events (seal writes, crash-flush appends);
+	// nil disables probes.
+	Tel *telemetry.Recorder
 }
 
 // NewRegionWriter lays out one log area per thread.
@@ -89,6 +94,7 @@ func (w *RegionWriter) Append(arrival sim.Cycle, tid int, images []Image) sim.Cy
 	accept, _ := w.dev.Write(arrival, addr, buf)
 	w.ImagesWritten += int64(len(images))
 	w.BytesWritten += int64(len(buf))
+	w.Tel.LogSeal(tid, accept, len(images), len(buf))
 	if w.OnAppend != nil {
 		w.OnAppend(tid, len(images))
 	}
@@ -113,6 +119,7 @@ func (w *RegionWriter) AppendAtCrashCritical(tid int, images []Image) {
 }
 
 func (w *RegionWriter) appendAtCrash(tid int, images []Image, critical bool) {
+	w.Tel.LogCrashFlush(tid, 0, len(images), critical)
 	if w.OnCrashAppend != nil {
 		w.OnCrashAppend(tid, critical, images)
 	}

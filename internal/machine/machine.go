@@ -16,6 +16,7 @@ import (
 	"silo/internal/recovery"
 	"silo/internal/sim"
 	"silo/internal/stats"
+	"silo/internal/telemetry"
 	"silo/internal/trace"
 )
 
@@ -50,6 +51,17 @@ type Config struct {
 	// DisableAudit turns off the runtime invariant layer (benchmarks;
 	// the auditor costs host wall-clock, never simulated cycles).
 	DisableAudit bool
+
+	// AuditTrail overrides the auditor's event-ring capacity (0 keeps
+	// the default; see audit.TrailSize).
+	AuditTrail int
+
+	// Telemetry, when non-nil, receives typed probe events from every
+	// layer of the machine (see internal/telemetry). The enabled audit
+	// layer is grafted onto it as an extra sink, so violation trails are
+	// built from the same stream. Probes never alter simulated timing or
+	// stats.Run results.
+	Telemetry *telemetry.Recorder
 }
 
 // Machine is the simulated system for one run.
@@ -63,6 +75,7 @@ type Machine struct {
 
 	aud       *audit.Auditor
 	bufDesign audit.BufferedDesign // non-nil when design is buffer-based (Silo)
+	tel       *telemetry.Recorder  // cfg.Telemetry plus the auditor sink; nil when both are off
 
 	inTx      []bool
 	pending   []map[mem.Addr]mem.Word // per-core uncommitted writes (golden)
@@ -129,12 +142,30 @@ func New(cfg Config) *Machine {
 		PersistPath:   cfg.PersistPath,
 	}
 	m.design = cfg.Design(env)
-	m.aud = audit.New(!cfg.DisableAudit)
+	var auditOpts []audit.Option
+	if cfg.AuditTrail > 0 {
+		auditOpts = append(auditOpts, audit.TrailSize(cfg.AuditTrail))
+	}
+	m.aud = audit.New(!cfg.DisableAudit, auditOpts...)
 	if bd, ok := m.design.(audit.BufferedDesign); ok {
 		m.bufDesign = bd
 	}
 	if m.aud.Enabled() {
 		m.region.OnCrashAppend = m.aud.ObserveCrashAppend
+	}
+	// One recorder feeds external sinks and the audit trail alike; when
+	// both are off it stays nil and every probe is a single branch.
+	m.tel = cfg.Telemetry
+	if m.aud.Enabled() {
+		m.tel = m.tel.With(m.aud)
+	}
+	if m.tel != nil {
+		m.hier.SetTelemetry(m.tel)
+		m.dev.SetTelemetry(m.tel)
+		m.region.Tel = m.tel
+		if ins, ok := m.design.(telemetry.Instrumented); ok {
+			ins.SetTelemetry(m.tel)
+		}
 	}
 	m.plan = cfg.Fault
 	if m.plan == nil && cfg.CrashAtOp > 0 {
@@ -168,6 +199,10 @@ func (m *Machine) Engine(seed int64) *sim.Engine {
 // Auditor exposes the runtime invariant layer (trail inspection after a
 // violation, overhead accounting).
 func (m *Machine) Auditor() *audit.Auditor { return m.aud }
+
+// Telemetry exposes the machine's probe-event recorder (nil when neither
+// telemetry nor the audit layer is enabled).
+func (m *Machine) Telemetry() *telemetry.Recorder { return m.tel }
 
 // WatchdogFired reports whether the sim-cycle watchdog killed the run.
 func (m *Machine) WatchdogFired() bool { return m.engine != nil && m.engine.WatchdogFired() }
@@ -264,17 +299,26 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 		for a := range m.pending[core] {
 			delete(m.pending[core], a)
 		}
+		m.tel.TxBegin(core, now, m.commits)
 		return sim.Result{Latency: 1 + m.design.TxBegin(core, now)}
 	case sim.OpTxEnd:
 		extra := m.design.TxEnd(core, now)
 		m.commitStall += int64(extra)
 		m.commitHist.Observe(int64(extra))
-		m.txHist.Observe(int64(now + extra - m.txBeganAt[core]))
+		txLat := now + extra - m.txBeganAt[core]
+		m.txHist.Observe(int64(txLat))
 		m.inTx[core] = false
 		m.commits++
 		m.txStoreAcc += int64(len(m.pending[core]))
+		// The probe precedes the audit checks so a violation there is
+		// stamped with this commit's cycle and sees it in the trail.
+		m.tel.TxCommit(core, now+extra, extra, len(m.pending[core]), txLat)
+		if reg := m.tel.Metrics(); reg != nil {
+			reg.Histogram("commit-stall-cycles").Observe(int64(extra))
+			reg.Histogram("tx-latency-cycles").Observe(int64(txLat))
+			reg.Counter("commits").Inc()
+		}
 		if m.aud.Enabled() {
-			m.aud.Eventf("tx-end: core=%d commit=%d words=%d now=%d", core, m.commits, len(m.pending[core]), now)
 			if m.bufDesign != nil {
 				// Log-as-Data: when Tx_end returns, every word of the
 				// transaction is already durable (WPQ-accepted in-place
@@ -336,9 +380,9 @@ func (m *Machine) InjectCrash(now sim.Cycle) {
 	// had stored (the dirty-line flush); nothing else is legal.
 	var before map[mem.Addr]mem.Word
 	var allowed map[mem.Addr][]mem.Word
+	m.tel.Crash(now, m.commits, m.opCount)
 	if auditing {
 		m.aud.BeginCrashFlush()
-		m.aud.Eventf("inject-crash: now=%d commits=%d ops=%d", now, m.commits, m.opCount)
 		before = make(map[mem.Addr]mem.Word)
 		for _, a := range m.WrittenWords() {
 			before[a] = m.dev.PeekWord(a)

@@ -29,6 +29,7 @@ import (
 
 	"silo/internal/mem"
 	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // Config parameterizes the device; see DefaultConfig.
@@ -102,7 +103,16 @@ type Device struct {
 	wear map[mem.Addr]int64
 
 	energy crashEnergy
+
+	// tel receives typed probe events; now is the latest request arrival,
+	// which timestamps the buffer/media events the internal paths emit
+	// (apply and flushBufLine have no cycle parameter of their own).
+	tel *telemetry.Recorder
+	now sim.Cycle
 }
+
+// SetTelemetry attaches the probe-event recorder (nil disables probes).
+func (d *Device) SetTelemetry(r *telemetry.Recorder) { d.tel = r }
 
 // crashEnergy is the battery/ADR budget model for the selective crash
 // flush (§III-G): a power failure leaves a bounded number of bytes the
@@ -166,10 +176,12 @@ func (d *Device) CrashAllowance(n int, critical bool) int {
 	e.remaining -= m
 	if m < n {
 		if !e.tearWords {
-			return 0
+			m = 0
+		} else {
+			m &^= mem.WordSize - 1
 		}
-		m &^= mem.WordSize - 1
 	}
+	d.tel.CrashEnergy(d.now, n, m, critical)
 	return m
 }
 
@@ -196,15 +208,19 @@ func New(cfg Config) *Device {
 	return d
 }
 
-// channel returns the WPQ serving addr: channels interleave at the on-PM
-// buffer line granularity, so a transaction's coalesced words stay on one
-// controller (the paper's per-MC log controller invariant).
-func (d *Device) channel(addr mem.Addr) *sim.ServiceQueue {
+// channelIdx returns the index of the WPQ serving addr: channels
+// interleave at the on-PM buffer line granularity, so a transaction's
+// coalesced words stay on one controller (the paper's per-MC log
+// controller invariant).
+func (d *Device) channelIdx(addr mem.Addr) int {
 	if len(d.wpq) == 1 {
-		return d.wpq[0]
+		return 0
 	}
-	idx := uint64(addr) / uint64(d.cfg.BufLineSize) % uint64(len(d.wpq))
-	return d.wpq[idx]
+	return int(uint64(addr) / uint64(d.cfg.BufLineSize) % uint64(len(d.wpq)))
+}
+
+func (d *Device) channel(addr mem.Addr) *sim.ServiceQueue {
+	return d.wpq[d.channelIdx(addr)]
 }
 
 // Config returns the device configuration.
@@ -274,9 +290,15 @@ func (d *Device) Write(arrival sim.Cycle, addr mem.Addr, data []byte) (accept, f
 		// approximates Banks parallel channels.
 		service = (service + sim.Cycle(d.cfg.Banks) - 1) / sim.Cycle(d.cfg.Banks)
 	}
-	accept, finish = d.channel(addr).Accept(arrival, service)
+	ch := d.channelIdx(addr)
+	q := d.wpq[ch]
+	accept, finish = q.Accept(arrival, service)
 	d.stats.WPQWrites++
 	d.stats.WPQBytes += int64(len(data))
+	if accept > d.now {
+		d.now = accept
+	}
+	d.tel.WPQWrite(ch, accept, q.Occupancy(accept), accept-arrival, len(data))
 	d.apply(addr, data)
 	return accept, finish
 }
@@ -311,9 +333,12 @@ func (d *Device) bufMerge(base mem.Addr, off int, data []byte) {
 			dirty: make([]bool, d.cfg.BufLineSize),
 		}
 		d.buf[base] = bl
+		d.tel.PMBufOpen(d.now, base, len(data))
 		if len(d.buf) > d.cfg.BufLines {
 			d.evictLRU(base)
 		}
+	} else {
+		d.tel.PMBufMerge(d.now, base, len(data))
 	}
 	copy(bl.data[off:], data)
 	for i := off; i < off+len(data); i++ {
@@ -343,35 +368,42 @@ func (d *Device) evictLRU(keep mem.Addr) {
 // per dirty chunk when DCW is disabled.
 func (d *Device) flushBufLine(bl *bufLine) {
 	delete(d.buf, bl.base)
+	programmed, suppressed, requests := 0, 0, 0
 	for chunk := 0; chunk < d.cfg.BufLineSize; chunk += mem.LineSize {
 		line := bl.base + mem.Addr(chunk)
 		ml := d.mediaLine(line)
-		changed, dirtyAny := 0, false
+		changed, dirty := 0, 0
 		for i := 0; i < mem.LineSize; i++ {
 			if !bl.dirty[chunk+i] {
 				continue
 			}
-			dirtyAny = true
+			dirty++
 			if ml[i] != bl.data[chunk+i] {
 				changed++
 				ml[i] = bl.data[chunk+i]
 			}
 		}
-		if !dirtyAny {
+		if dirty == 0 {
 			continue
 		}
 		if d.cfg.DCW {
+			suppressed += dirty - changed
 			if changed > 0 {
 				d.stats.MediaWrites++
 				d.stats.MediaBytes += int64(changed)
 				d.wear[line]++
+				programmed += changed
+				requests++
 			}
 		} else {
 			d.stats.MediaWrites++
 			d.stats.MediaBytes += mem.LineSize
 			d.wear[line]++
+			programmed += mem.LineSize
+			requests++
 		}
 	}
+	d.tel.PMBufWriteback(d.now, bl.base, programmed, suppressed, requests)
 }
 
 // writeMedia bypasses the buffer (coalescing disabled); DCW still applies.
@@ -414,6 +446,9 @@ func (d *Device) writeMedia(addr mem.Addr, data []byte) {
 // a small interference penalty.
 func (d *Device) Read(arrival sim.Cycle, addr mem.Addr, n int) ([]byte, sim.Cycle) {
 	d.stats.Reads++
+	if arrival > d.now {
+		d.now = arrival
+	}
 	lat := d.cfg.ReadLatency + readInterferencePerEntry*sim.Cycle(d.channel(addr).Occupancy(arrival))
 	return d.Peek(addr, n), lat
 }

@@ -19,6 +19,8 @@ import (
 	"silo/internal/logging"
 	"silo/internal/mem"
 	"silo/internal/pm"
+	"silo/internal/sim"
+	"silo/internal/telemetry"
 )
 
 // Report summarizes one recovery pass.
@@ -43,6 +45,12 @@ type Options struct {
 	// failure during recovery itself (0 = run to completion). Recovery
 	// never mutates the log region, so a subsequent pass converges.
 	MaxWrites int
+
+	// Telemetry receives per-thread scan and replay probe events
+	// (nil disables probes); Now stamps them (recovery runs outside the
+	// crashed run's clock, so the caller supplies the crash cycle).
+	Telemetry *telemetry.Recorder
+	Now       sim.Cycle
 }
 
 type txKey struct {
@@ -69,7 +77,12 @@ func RecoverOpts(dev *pm.Device, region *logging.RegionWriter, opt Options) Repo
 		rep.AppliedWrites++
 		return true
 	}
-	walk(region.ScanAllChecked(), &rep, write)
+	scans := region.ScanAllChecked()
+	for t, sr := range scans {
+		opt.Telemetry.RecoveryScan(t, opt.Now, len(sr.Images), sr.Quarantined)
+	}
+	walk(scans, &rep, write)
+	opt.Telemetry.RecoveryApply(opt.Now, rep.RedoApplied, rep.UndoApplied, rep.Discarded)
 	return rep
 }
 

@@ -5,6 +5,8 @@ import "math/bits"
 // Histogram is a power-of-two-bucketed latency histogram: bucket i counts
 // observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). It is
 // cheap enough to sit on the per-transaction commit path of a simulation.
+// All methods tolerate a nil receiver (reads return zero, Observe drops
+// the sample), so a disabled metrics registry can hand out nil histograms.
 type Histogram struct {
 	buckets [65]int64
 	count   int64
@@ -14,6 +16,9 @@ type Histogram struct {
 
 // Observe records one value; negative values are clamped to zero.
 func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -33,14 +38,24 @@ func bucketOf(v int64) int {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
 
 // Max returns the largest observation.
-func (h *Histogram) Max() int64 { return h.max }
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
 
 // Mean returns the arithmetic mean.
 func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
+	if h == nil || h.count == 0 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.count)
@@ -49,7 +64,7 @@ func (h *Histogram) Mean() float64 {
 // Percentile returns an upper bound for the p-th percentile (0 < p <= 100):
 // the upper edge of the bucket containing it.
 func (h *Histogram) Percentile(p float64) int64 {
-	if h.count == 0 {
+	if h == nil || h.count == 0 {
 		return 0
 	}
 	if p > 100 {

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"silo/internal/sim"
+)
+
+// Synthetic thread IDs for shared-resource tracks. Cores occupy tids
+// 0..N-1; WPQ channel c occupies TIDWPQBase+c.
+const (
+	TIDLLC      = 1000
+	TIDPM       = 1001
+	TIDLog      = 1002
+	TIDRecovery = 1003
+	TIDWPQBase  = 1100
+)
+
+// cyclesToMicros converts simulated cycles to trace microseconds at the
+// machine's 2 GHz clock (1 cycle = 0.5 ns = 0.0005 µs). The conversion is
+// monotone, so per-track timestamp ordering survives it.
+func cyclesToMicros(c sim.Cycle) float64 { return float64(c) * 0.0005 }
+
+// ChromeTrace is a streaming Sink that writes Chrome trace-event JSON
+// (the array format), loadable in Perfetto and chrome://tracing. Layout:
+//
+//   - one duration track per core carrying B/E transaction slices,
+//   - instant tracks for the LLC, PM device, log hardware and recovery,
+//   - counter tracks for per-channel WPQ depth and per-core log-buffer
+//     occupancy (plus crash-energy draw).
+//
+// Events stream straight to the writer, so traces of arbitrarily long
+// runs hold no per-event memory. Close flushes, ends any transaction
+// slices left open by a crash, and terminates the JSON array.
+type ChromeTrace struct {
+	w     *bufio.Writer
+	first bool // next event is the first array element
+	err   error
+
+	named   map[int]bool      // tids whose thread_name metadata is out
+	openTx  map[int]bool      // cores with an open B slice
+	lastTS  map[int]sim.Cycle // per-tid last emitted cycle (monotonicity clamp)
+	process string
+}
+
+// NewChromeTrace starts a trace stream on w. The caller keeps ownership
+// of any underlying file; Close flushes the sink only.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	t := &ChromeTrace{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		first:   true,
+		named:   make(map[int]bool),
+		openTx:  make(map[int]bool),
+		lastTS:  make(map[int]sim.Cycle),
+		process: "silo",
+	}
+	t.raw(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"silo machine"}}`)
+	return t
+}
+
+func (t *ChromeTrace) raw(json string) {
+	if t.err != nil {
+		return
+	}
+	if t.first {
+		_, t.err = t.w.WriteString("[\n")
+		t.first = false
+	} else {
+		_, t.err = t.w.WriteString(",\n")
+	}
+	if t.err == nil {
+		_, t.err = t.w.WriteString(json)
+	}
+}
+
+// ensureTrack emits thread_name metadata once per tid.
+func (t *ChromeTrace) ensureTrack(tid int, name string) {
+	if t.named[tid] {
+		return
+	}
+	t.named[tid] = true
+	t.raw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, tid, name))
+	// sort_index keeps core tracks on top, then channels, then shared.
+	t.raw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tid, tid))
+}
+
+// ts clamps the event cycle to be nondecreasing per tid. Component
+// streams are already ordered (engine contract); the clamp guards the
+// file-format invariant against any cross-component interleaving.
+func (t *ChromeTrace) ts(tid int, c sim.Cycle) float64 {
+	if last := t.lastTS[tid]; c < last {
+		c = last
+	}
+	t.lastTS[tid] = c
+	return cyclesToMicros(c)
+}
+
+func (t *ChromeTrace) slice(ph string, tid int, c sim.Cycle, name string, args string) {
+	if args == "" {
+		t.raw(fmt.Sprintf(`{"ph":%q,"pid":1,"tid":%d,"ts":%.4f,"name":%q,"cat":"silo"}`,
+			ph, tid, t.ts(tid, c), name))
+		return
+	}
+	t.raw(fmt.Sprintf(`{"ph":%q,"pid":1,"tid":%d,"ts":%.4f,"name":%q,"cat":"silo","args":{%s}}`,
+		ph, tid, t.ts(tid, c), name, args))
+}
+
+func (t *ChromeTrace) instant(tid int, c sim.Cycle, name string, args string) {
+	if args == "" {
+		t.raw(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%.4f,"name":%q,"cat":"silo","s":"t"}`,
+			tid, t.ts(tid, c), name))
+		return
+	}
+	t.raw(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%.4f,"name":%q,"cat":"silo","s":"t","args":{%s}}`,
+		tid, t.ts(tid, c), name, args))
+}
+
+// counter emits a "C" event. Counter tracks are keyed by name, so they
+// ride on pid 1 with a stable per-series name.
+func (t *ChromeTrace) counter(tid int, c sim.Cycle, name string, series string, v int64) {
+	t.raw(fmt.Sprintf(`{"ph":"C","pid":1,"tid":%d,"ts":%.4f,"name":%q,"cat":"silo","args":{%q:%d}}`,
+		tid, t.ts(tid, c), name, series, v))
+}
+
+// Event implements Sink.
+func (t *ChromeTrace) Event(e Event) {
+	if t.err != nil {
+		return
+	}
+	switch e.Kind {
+	case KTxBegin:
+		tid := int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("core %d", tid))
+		if t.openTx[tid] { // defensive: close a dangling slice first
+			t.slice("E", tid, e.Cycle, "tx", "")
+		}
+		t.openTx[tid] = true
+		t.slice("B", tid, e.Cycle, "tx", fmt.Sprintf(`"commits":%d`, e.A))
+	case KTxCommit:
+		tid := int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("core %d", tid))
+		if !t.openTx[tid] {
+			// Commit without a recorded begin (sink attached mid-run):
+			// render as an instant so the track still shows it.
+			t.instant(tid, e.Cycle, "tx-commit",
+				fmt.Sprintf(`"stall":%d,"words":%d`, e.A, e.B))
+			break
+		}
+		t.openTx[tid] = false
+		t.slice("E", tid, e.Cycle, "tx",
+			fmt.Sprintf(`"stall":%d,"words":%d,"txlat":%d`, e.A, e.B, e.C))
+	case KCrash:
+		t.ensureTrack(TIDPM, "pm device")
+		t.instant(TIDPM, e.Cycle, "CRASH", fmt.Sprintf(`"commits":%d,"ops":%d`, e.A, e.B))
+	case KLLCEvict:
+		t.ensureTrack(TIDLLC, "llc")
+		t.instant(TIDLLC, e.Cycle, "evict", fmt.Sprintf(`"line":"%#x"`, uint64(e.Addr)))
+	case KFlushBitSet:
+		t.ensureTrack(TIDLLC, "llc")
+		t.instant(TIDLLC, e.Cycle, "flush-bit-set",
+			fmt.Sprintf(`"core":%d,"line":"%#x","entries":%d`, e.Core, uint64(e.Addr), e.A))
+	case KFlushBitClear:
+		t.ensureTrack(TIDLLC, "llc")
+		t.instant(TIDLLC, e.Cycle, "flush-bit-clear",
+			fmt.Sprintf(`"core":%d,"entries":%d`, e.Core, e.A))
+	case KWPQWrite:
+		tid := TIDWPQBase + int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("wpq ch%d", e.Core))
+		t.counter(tid, e.Cycle, fmt.Sprintf("wpq-depth ch%d", e.Core), "depth", e.A)
+		if e.B > 0 {
+			t.instant(tid, e.Cycle, "wpq-stall", fmt.Sprintf(`"cycles":%d`, e.B))
+		}
+	case KPMBufOpen:
+		t.ensureTrack(TIDPM, "pm device")
+		t.instant(TIDPM, e.Cycle, "buf-open",
+			fmt.Sprintf(`"base":"%#x","bytes":%d`, uint64(e.Addr), e.A))
+	case KPMBufMerge:
+		t.ensureTrack(TIDPM, "pm device")
+		t.instant(TIDPM, e.Cycle, "buf-merge",
+			fmt.Sprintf(`"base":"%#x","bytes":%d`, uint64(e.Addr), e.A))
+	case KPMBufWriteback:
+		t.ensureTrack(TIDPM, "pm device")
+		t.instant(TIDPM, e.Cycle, "buf-writeback",
+			fmt.Sprintf(`"base":"%#x","programmed":%d,"dcw_suppressed":%d,"reqs":%d`,
+				uint64(e.Addr), e.A, e.B, e.C))
+	case KCrashEnergy:
+		t.ensureTrack(TIDPM, "pm device")
+		t.counter(TIDPM, e.Cycle, "crash-energy draw", "bytes", e.B)
+	case KLogBufOcc:
+		tid := int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("core %d", tid))
+		t.counter(tid, e.Cycle, fmt.Sprintf("logbuf-occupancy core%d", e.Core), "entries", e.A)
+	case KLogOverflow:
+		t.ensureTrack(TIDLog, "log hw")
+		t.instant(TIDLog, e.Cycle, "overflow",
+			fmt.Sprintf(`"core":%d,"evicted":%d`, e.Core, e.A))
+	case KLogSeal:
+		t.ensureTrack(TIDLog, "log hw")
+		t.instant(TIDLog, e.Cycle, "seal",
+			fmt.Sprintf(`"tid":%d,"records":%d,"bytes":%d`, e.Core, e.A, e.B))
+	case KLogCrashFlush:
+		t.ensureTrack(TIDLog, "log hw")
+		t.instant(TIDLog, e.Cycle, "crash-flush",
+			fmt.Sprintf(`"tid":%d,"records":%d,"critical":%d`, e.Core, e.A, e.B))
+	case KRecoveryScan:
+		t.ensureTrack(TIDRecovery, "recovery")
+		t.instant(TIDRecovery, e.Cycle, "scan",
+			fmt.Sprintf(`"tid":%d,"records":%d,"quarantined":%d`, e.Core, e.A, e.B))
+	case KRecoveryApply:
+		t.ensureTrack(TIDRecovery, "recovery")
+		t.instant(TIDRecovery, e.Cycle, "apply",
+			fmt.Sprintf(`"redo":%d,"undo":%d,"discarded":%d`, e.A, e.B, e.C))
+	case KNote:
+		t.ensureTrack(TIDPM, "pm device")
+		t.instant(TIDPM, e.Cycle, "note", fmt.Sprintf(`"text":%s`, quoteJSON(e.Note)))
+	}
+}
+
+// Close ends open transaction slices (a crash leaves them open), flushes
+// buffered output and terminates the JSON array.
+func (t *ChromeTrace) Close() error {
+	for tid, open := range t.openTx {
+		if open {
+			t.slice("E", tid, t.lastTS[tid], "tx", `"truncated":"crash"`)
+			t.openTx[tid] = false
+		}
+	}
+	if t.first { // no events at all: still emit a valid empty array
+		if _, err := t.w.WriteString("[\n"); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	if t.err == nil {
+		_, t.err = t.w.WriteString("\n]\n")
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// quoteJSON escapes a string for direct embedding in the hand-built
+// JSON stream (the audit trail's notes can contain anything).
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"silo/internal/stats"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter is
+// inert, so registry lookups on a disabled recorder cost nothing.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time level with a retained high-water mark.
+// The nil *Gauge is inert.
+type Gauge struct {
+	v, max int64
+}
+
+// Set records the current level and updates the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the most recent level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark (0 for a nil gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Registry names and owns metric instruments. Instruments are created on
+// first lookup; lookups on a nil registry return nil instruments whose
+// methods are all no-ops, which keeps instrumented code unconditional.
+//
+// The registry itself is mutex-guarded (the torture fleet runs machines
+// on many goroutines); individual instruments are not, matching the
+// engine's one-goroutine-at-a-time execution model within one machine.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*stats.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency recorder, creating it on first
+// use. stats.Histogram methods are nil-receiver-safe, so the nil result
+// from a nil registry observes into the void.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &stats.Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// MetricValue is one named reading in a registry snapshot.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter", "gauge", "histogram"
+	Value int64   `json:"value"`
+	Max   int64   `json:"max,omitempty"`  // gauges: high-water; histograms: max sample
+	P50   float64 `json:"p50,omitempty"`  // histograms only
+	P99   float64 `json:"p99,omitempty"`  // histograms only
+	Mean  float64 `json:"mean,omitempty"` // histograms only
+}
+
+// Snapshot returns every instrument's current reading, sorted by kind
+// then name. Nil registries snapshot empty.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, MetricValue{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricValue{Name: name, Kind: "gauge", Value: g.Value(), Max: g.Max()})
+	}
+	for name, h := range r.histograms {
+		out = append(out, MetricValue{
+			Name: name, Kind: "histogram",
+			Value: h.Count(), Max: h.Max(),
+			P50: float64(h.Percentile(50)), P99: float64(h.Percentile(99)), Mean: h.Mean(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"silo/internal/sim"
+)
+
+// Window is one interval of the sampler's time series: event counts and
+// high-water marks folded over [Start, End) cycles.
+type Window struct {
+	Start sim.Cycle `json:"start"`
+	End   sim.Cycle `json:"end"`
+
+	Commits       int64 `json:"commits"`
+	CommitStall   int64 `json:"commit_stall_cycles"`
+	LLCEvicts     int64 `json:"llc_evicts"`
+	Overflows     int64 `json:"overflows"`
+	SealRecords   int64 `json:"seal_records"`
+	WPQWrites     int64 `json:"wpq_writes"`
+	WPQStall      int64 `json:"wpq_stall_cycles"`
+	WPQPeakDepth  int64 `json:"wpq_peak_depth"`
+	LogBufPeak    int64 `json:"logbuf_peak"`
+	MediaBytes    int64 `json:"media_bytes"`
+	DCWSuppressed int64 `json:"dcw_suppressed_bytes"`
+}
+
+// IntervalSampler is a Sink that folds the probe stream into fixed-width
+// per-window time series — the input for silo-report's timeline section.
+// Windows are closed lazily as event time advances; Windows() returns
+// the completed series including the in-progress tail.
+type IntervalSampler struct {
+	width sim.Cycle
+	done  []Window
+	cur   Window
+	open  bool
+}
+
+// NewIntervalSampler samples at the given window width in cycles
+// (minimum 1).
+func NewIntervalSampler(width sim.Cycle) *IntervalSampler {
+	if width < 1 {
+		width = 1
+	}
+	return &IntervalSampler{width: width}
+}
+
+// advance closes completed windows so that cur covers the window
+// containing cycle c. Empty gap windows are materialized so the series
+// has no holes (a flat-line region is information).
+func (s *IntervalSampler) advance(c sim.Cycle) {
+	if !s.open {
+		start := c - c%s.width
+		s.cur = Window{Start: start, End: start + s.width}
+		s.open = true
+		return
+	}
+	for c >= s.cur.End {
+		s.done = append(s.done, s.cur)
+		s.cur = Window{Start: s.cur.End, End: s.cur.End + s.width}
+	}
+}
+
+// Event implements Sink.
+func (s *IntervalSampler) Event(e Event) {
+	s.advance(e.Cycle)
+	w := &s.cur
+	switch e.Kind {
+	case KTxCommit:
+		w.Commits++
+		w.CommitStall += e.A
+	case KLLCEvict:
+		w.LLCEvicts++
+	case KLogOverflow:
+		w.Overflows++
+	case KLogSeal:
+		w.SealRecords += e.A
+	case KWPQWrite:
+		w.WPQWrites++
+		w.WPQStall += e.B
+		if e.A > w.WPQPeakDepth {
+			w.WPQPeakDepth = e.A
+		}
+	case KLogBufOcc:
+		if e.A > w.LogBufPeak {
+			w.LogBufPeak = e.A
+		}
+	case KPMBufWriteback:
+		w.MediaBytes += e.A
+		w.DCWSuppressed += e.B
+	}
+}
+
+// Windows returns the completed series plus the in-progress tail.
+func (s *IntervalSampler) Windows() []Window {
+	out := make([]Window, 0, len(s.done)+1)
+	out = append(out, s.done...)
+	if s.open {
+		out = append(out, s.cur)
+	}
+	return out
+}
+
+// Table renders the series as an aligned text table (one row per
+// window), suitable for terminals and Markdown code blocks.
+func (s *IntervalSampler) Table() string {
+	ws := s.Windows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %10s %8s %8s %9s %10s %8s %8s %10s %8s\n",
+		"window(cycles)", "commits", "stall", "evicts", "ovfl", "seals",
+		"wpq-wr", "wpq-st", "wpq-pk", "media-B", "dcw-B")
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%-22s %8d %10d %8d %8d %9d %10d %8d %8d %10d %8d\n",
+			fmt.Sprintf("[%d,%d)", w.Start, w.End),
+			w.Commits, w.CommitStall, w.LLCEvicts, w.Overflows, w.SealRecords,
+			w.WPQWrites, w.WPQStall, w.WPQPeakDepth, w.MediaBytes, w.DCWSuppressed)
+	}
+	return b.String()
+}
