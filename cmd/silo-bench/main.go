@@ -19,8 +19,12 @@ import (
 	"strings"
 
 	"silo/internal/harness"
+	"silo/internal/profiling"
 	"silo/internal/stats"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
@@ -32,7 +36,13 @@ func main() {
 		format   = flag.String("format", "table", "output format: table, chart, csv, json")
 		benchOut = flag.String("bench-out", "", "with -exp bench: write the machine-readable snapshot (BENCH_silo.json) here")
 	)
+	prof = profiling.Register("silo-bench")
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	coresList, err := parseCores(*cores)
 	if err != nil {
@@ -192,5 +202,6 @@ func parseCores(s string) ([]int, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "silo-bench:", err)
+	prof.Stop()
 	os.Exit(1)
 }

@@ -23,9 +23,13 @@ import (
 
 	"silo/internal/core"
 	"silo/internal/harness"
+	"silo/internal/profiling"
 	"silo/internal/sim"
 	"silo/internal/telemetry"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
@@ -42,7 +46,13 @@ func main() {
 		telOut   = flag.String("telemetry", "", "write a Chrome trace-event timeline (Perfetto-loadable) to this file")
 		interval = flag.Int64("metrics-interval", 0, "fold telemetry into windows of this many cycles and print the series (0 = off)")
 	)
+	prof = profiling.Register("silo-sim")
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	spec := harness.Spec{
 		Design:        *design,
@@ -146,5 +156,6 @@ func rate(hits, misses int64) float64 {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "silo-sim:", err)
+	prof.Stop()
 	os.Exit(1)
 }

@@ -31,15 +31,18 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
 
 	"silo/internal/fault"
 	"silo/internal/harness"
+	"silo/internal/profiling"
 	"silo/internal/sim"
 )
+
+// prof is package-level so fatal can flush profiles before os.Exit.
+var prof *profiling.Flags
 
 func main() {
 	var (
@@ -63,10 +66,10 @@ func main() {
 		retries   = flag.Int("retries", 2, "retries for infra failures (watchdog kills, host flakes)")
 		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
 
-		traceDir   = flag.String("telemetry-dir", "", "re-run failing campaigns with telemetry and write DIR/campaign-<idx>.trace.json (Perfetto-loadable)")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live fleet profiling")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		traceDir  = flag.String("telemetry-dir", "", "re-run failing campaigns with telemetry and write DIR/campaign-<idx>.trace.json (Perfetto-loadable)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live fleet profiling")
 	)
+	prof = profiling.Register("silo-torture")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -77,27 +80,14 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "silo-torture: pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	// exit flushes the CPU profile before terminating: os.Exit skips
+	// exit flushes the profiles before terminating: os.Exit skips
 	// deferred functions, so every exit path below must go through it.
-	stopProfile := func() {}
 	exit := func(code int) {
-		stopProfile()
+		prof.Stop()
 		os.Exit(code)
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		stopProfile = func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "silo-torture: cpuprofile:", err)
-			}
-		}
+	if err := prof.Start(); err != nil {
+		fatal(err)
 	}
 
 	if len(splitCSV(*designs)) == 0 {
@@ -276,6 +266,7 @@ func reproMode(cfg harness.TortureConfig, planStr string, seed int64) int {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "silo-torture:", err)
+	prof.Stop()
 	os.Exit(2)
 }
 

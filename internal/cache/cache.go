@@ -9,6 +9,9 @@
 package cache
 
 import (
+	"encoding/binary"
+	"sync"
+
 	"silo/internal/mem"
 	"silo/internal/sim"
 	"silo/internal/telemetry"
@@ -39,21 +42,73 @@ func DefaultHierarchyConfig() HierarchyConfig {
 }
 
 type line struct {
-	addr  mem.Addr // line-aligned tag; valid when data != nil
-	data  *[mem.LineSize]byte
-	dirty bool
+	addr  mem.Addr // line-aligned tag
 	lru   int64
+	data  [mem.LineSize]byte // held inline: no per-fill allocation
+	dirty bool
 }
 
-// Cache is one set-associative level.
+// invalidTag marks an empty way in the tag array. It is not line-aligned,
+// so no real line address can collide with it.
+const invalidTag = ^mem.Addr(0)
+
+// Cache is one set-associative level. Tags live in their own dense array
+// (mirroring arr) so the per-access way scan reads one contiguous run of
+// words instead of striding across the full line records. The tag array
+// is also the sole validity record — a line record is only read when its
+// tag matches — so construction and whole-cache invalidation touch 8
+// bytes per line, not the 88-byte record (the torture fleet builds
+// thousands of short-lived machines and crashes them constantly; zeroing
+// the multi-megabyte L3 record array per campaign dominated its profile).
 type Cache struct {
-	cfg  Config
-	sets int
-	ways int
-	arr  []line // sets*ways, row-major by set
-	tick int64
+	cfg     Config
+	sets    int
+	setMask int // sets-1 when sets is a power of two (the usual case), else -1
+	ways    int
+	arr     []line     // sets*ways, row-major by set; stale unless tag valid
+	tags    []mem.Addr // arr[i].addr, or invalidTag for an empty way
+	pooled  *cacheArrays
+	tick    int64
 
 	Hits, Misses int64
+}
+
+// cacheArrays bundles one level's line records and tag array so they
+// recycle together. Because validity lives solely in the tag array,
+// recycled records may carry stale contents — they are unreachable until
+// an insert overwrites them — so reuse needs no clearing beyond the tags.
+type cacheArrays struct {
+	arr  []line
+	tags []mem.Addr
+}
+
+// arrPools recycles cacheArrays by line count. Short-lived machines (the
+// torture fleet builds thousands per sweep) otherwise spend more time
+// zeroing fresh multi-megabyte L3 record arrays than simulating.
+var arrPools sync.Map // line count -> *sync.Pool
+
+func getArrays(n int) *cacheArrays {
+	p, ok := arrPools.Load(n)
+	if !ok {
+		p, _ = arrPools.LoadOrStore(n, &sync.Pool{New: func() any {
+			return &cacheArrays{arr: make([]line, n), tags: make([]mem.Addr, n)}
+		}})
+	}
+	a := p.(*sync.Pool).Get().(*cacheArrays)
+	fillInvalid(a.tags)
+	return a
+}
+
+// fillInvalid resets a tag array to all-empty. The doubling copy runs at
+// memmove speed, which matters at the L3's 128 k tags.
+func fillInvalid(tags []mem.Addr) {
+	if len(tags) == 0 {
+		return
+	}
+	tags[0] = invalidTag
+	for n := 1; n < len(tags); n *= 2 {
+		copy(tags[n:], tags[:n])
+	}
 }
 
 // NewCache builds a cache from cfg.
@@ -62,21 +117,43 @@ func NewCache(cfg Config) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
-	return &Cache{cfg: cfg, sets: sets, ways: cfg.Ways, arr: make([]line, sets*cfg.Ways)}
+	mask := -1
+	if sets&(sets-1) == 0 {
+		mask = sets - 1
+	}
+	a := getArrays(sets * cfg.Ways)
+	return &Cache{cfg: cfg, sets: sets, setMask: mask, ways: cfg.Ways,
+		arr: a.arr, tags: a.tags, pooled: a}
 }
 
-func (c *Cache) set(addr mem.Addr) []line {
-	s := int(uint64(addr>>mem.LineShift) % uint64(c.sets))
-	return c.arr[s*c.ways : (s+1)*c.ways]
+// Release returns the cache's arrays to the pool. The cache must not be
+// used afterwards.
+func (c *Cache) Release() {
+	if c.pooled == nil {
+		return
+	}
+	if p, ok := arrPools.Load(len(c.pooled.arr)); ok {
+		p.(*sync.Pool).Put(c.pooled)
+	}
+	c.pooled, c.arr, c.tags = nil, nil, nil
+}
+
+func (c *Cache) setBase(addr mem.Addr) int {
+	idx := uint64(addr >> mem.LineShift)
+	if c.setMask >= 0 {
+		return (int(idx) & c.setMask) * c.ways
+	}
+	return int(idx%uint64(c.sets)) * c.ways
 }
 
 // lookup returns the way holding addr's line, or nil.
 func (c *Cache) lookup(addr mem.Addr) *line {
 	la := addr.Line()
-	set := c.set(la)
-	for i := range set {
-		if set[i].data != nil && set[i].addr == la {
-			return &set[i]
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == la {
+			return &c.arr[base+i]
 		}
 	}
 	return nil
@@ -89,38 +166,45 @@ type Evicted struct {
 	Dirty bool
 }
 
-// insert places data for la, returning the victim if a valid line was
-// displaced.
-func (c *Cache) insert(la mem.Addr, data *[mem.LineSize]byte, dirty bool) (Evicted, bool) {
-	set := c.set(la)
-	victim := &set[0]
-	for i := range set {
-		if set[i].data == nil {
-			victim = &set[i]
+// insert places data for la, returning the resident line and the victim
+// if a valid line was displaced.
+func (c *Cache) insert(la mem.Addr, data *[mem.LineSize]byte, dirty bool) (*line, Evicted, bool) {
+	base := c.setBase(la)
+	set := c.arr[base : base+c.ways]
+	tags := c.tags[base : base+c.ways]
+	vi := 0
+	for i := range tags {
+		if tags[i] == invalidTag {
+			vi = i
 			break
 		}
-		if set[i].lru < victim.lru {
-			victim = &set[i]
+		if set[i].lru < set[vi].lru {
+			vi = i
 		}
 	}
+	victim := &set[vi]
 	var ev Evicted
-	had := victim.data != nil
+	had := tags[vi] != invalidTag
 	if had {
-		ev = Evicted{Addr: victim.addr, Data: *victim.data, Dirty: victim.dirty}
+		ev = Evicted{Addr: victim.addr, Data: victim.data, Dirty: victim.dirty}
 	}
 	c.tick++
-	d := new([mem.LineSize]byte)
-	*d = *data
-	*victim = line{addr: la, data: d, dirty: dirty, lru: c.tick}
-	return ev, had
+	victim.addr, victim.lru, victim.data, victim.dirty = la, c.tick, *data, dirty
+	tags[vi] = la
+	return victim, ev, had
 }
 
 // remove invalidates la, returning its contents.
 func (c *Cache) remove(la mem.Addr) (Evicted, bool) {
-	if l := c.lookup(la); l != nil {
-		ev := Evicted{Addr: l.addr, Data: *l.data, Dirty: l.dirty}
-		*l = line{}
-		return ev, true
+	base := c.setBase(la)
+	tags := c.tags[base : base+c.ways]
+	for i := range tags {
+		if tags[i] == la {
+			l := &c.arr[base+i]
+			ev := Evicted{Addr: l.addr, Data: l.data, Dirty: l.dirty}
+			tags[i] = invalidTag // record left stale; never read while invalid
+			return ev, true
+		}
 	}
 	return Evicted{}, false
 }
@@ -185,14 +269,14 @@ func (h *Hierarchy) access(core int, addr mem.Addr, now sim.Cycle) (*line, sim.C
 	lat := h.cfg.L1.Latency + h.cfg.L2.Latency
 	if l := l2.lookup(la); l != nil {
 		l2.Hits++
-		data, dirty = *l.data, l.dirty
+		data, dirty = l.data, l.dirty
 		l2.remove(la) // promote exclusively into L1
 	} else {
 		l2.Misses++
 		lat += h.cfg.L3.Latency
 		if l := h.l3.lookup(la); l != nil {
 			h.l3.Hits++
-			data, dirty = *l.data, l.dirty
+			data, dirty = l.data, l.dirty
 			h.l3.remove(la)
 		} else {
 			h.l3.Misses++
@@ -201,11 +285,13 @@ func (h *Hierarchy) access(core int, addr mem.Addr, now sim.Cycle) (*line, sim.C
 			lat += fillLat
 		}
 	}
-	ev, had := l1.insert(la, &data, dirty)
+	res, ev, had := l1.insert(la, &data, dirty)
 	if had {
 		h.demote(1, core, ev, now)
+		// A same-set demotion chain cannot displace la from L1: the only
+		// L1 write after insert is the demote's recursion into L2/L3.
 	}
-	return l1.lookup(la), lat
+	return res, lat
 }
 
 // demote pushes an evicted line down one level (L1→L2→L3→MC). Clean lines
@@ -214,12 +300,12 @@ func (h *Hierarchy) access(core int, addr mem.Addr, now sim.Cycle) (*line, sim.C
 func (h *Hierarchy) demote(fromLevel int, core int, ev Evicted, now sim.Cycle) {
 	switch fromLevel {
 	case 1:
-		ev2, had := h.l2[core].insert(ev.Addr, &ev.Data, ev.Dirty)
+		_, ev2, had := h.l2[core].insert(ev.Addr, &ev.Data, ev.Dirty)
 		if had {
 			h.demote(2, core, ev2, now)
 		}
 	case 2:
-		ev3, had := h.l3.insert(ev.Addr, &ev.Data, ev.Dirty)
+		_, ev3, had := h.l3.insert(ev.Addr, &ev.Data, ev.Dirty)
 		if had {
 			h.demote(3, core, ev3, now)
 		}
@@ -235,7 +321,7 @@ func (h *Hierarchy) demote(fromLevel int, core int, ev Evicted, now sim.Cycle) {
 // Load reads the word at addr through core's caches.
 func (h *Hierarchy) Load(core int, addr mem.Addr, now sim.Cycle) (mem.Word, sim.Cycle) {
 	l, lat := h.access(core, addr, now)
-	return wordAt(l.data, addr), lat
+	return wordAt(&l.data, addr), lat
 }
 
 // Store writes the word at addr through core's caches (write-allocate)
@@ -243,8 +329,8 @@ func (h *Hierarchy) Load(core int, addr mem.Addr, now sim.Cycle) (mem.Word, sim.
 // read during tag matching at no extra latency (§III-B).
 func (h *Hierarchy) Store(core int, addr mem.Addr, v mem.Word, now sim.Cycle) (old mem.Word, lat sim.Cycle) {
 	l, lat := h.access(core, addr, now)
-	old = wordAt(l.data, addr)
-	putWordAt(l.data, addr, v)
+	old = wordAt(&l.data, addr)
+	putWordAt(&l.data, addr, v)
 	l.dirty = true
 	return old, lat
 }
@@ -252,12 +338,25 @@ func (h *Hierarchy) Store(core int, addr mem.Addr, v mem.Word, now sim.Cycle) (o
 // PeekWord returns addr's word if cached anywhere for core, with no side
 // effects (no LRU update, no timing).
 func (h *Hierarchy) PeekWord(core int, addr mem.Addr) (mem.Word, bool) {
-	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
-		if l := c.lookup(addr); l != nil {
-			return wordAt(l.data, addr), true
+	for lvl := 0; lvl < 3; lvl++ {
+		if l := h.level(lvl, core).lookup(addr); l != nil {
+			return wordAt(&l.data, addr), true
 		}
 	}
 	return 0, false
+}
+
+// level returns core's cache at L1/L2/L3 (0/1/2) — the iteration order of
+// the whole-hierarchy probes, without building a slice per call.
+func (h *Hierarchy) level(lvl, core int) *Cache {
+	switch lvl {
+	case 0:
+		return h.l1[core]
+	case 1:
+		return h.l2[core]
+	default:
+		return h.l3
+	}
 }
 
 // CleanLine implements clwb semantics for one line: if the line is dirty
@@ -268,10 +367,10 @@ func (h *Hierarchy) CleanLine(core int, la mem.Addr) ([mem.LineSize]byte, bool) 
 	la = la.Line()
 	var data [mem.LineSize]byte
 	found, wasDirty := false, false
-	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
-		if l := c.lookup(la); l != nil {
+	for lvl := 0; lvl < 3; lvl++ {
+		if l := h.level(lvl, core).lookup(la); l != nil {
 			if !found {
-				data = *l.data
+				data = l.data
 				found = true
 			}
 			if l.dirty {
@@ -287,9 +386,9 @@ func (h *Hierarchy) CleanLine(core int, la mem.Addr) ([mem.LineSize]byte, bool) 
 // its contents if so (LAD's commit-time flush uses this).
 func (h *Hierarchy) DirtyLine(core int, la mem.Addr) ([mem.LineSize]byte, bool) {
 	la = la.Line()
-	for _, c := range []*Cache{h.l1[core], h.l2[core], h.l3} {
-		if l := c.lookup(la); l != nil && l.dirty {
-			return *l.data, true
+	for lvl := 0; lvl < 3; lvl++ {
+		if l := h.level(lvl, core).lookup(la); l != nil && l.dirty {
+			return l.data, true
 		}
 	}
 	return [mem.LineSize]byte{}, false
@@ -303,9 +402,9 @@ func (h *Hierarchy) ForceWriteBackAll(now sim.Cycle) int {
 	flush := func(c *Cache) {
 		for i := range c.arr {
 			l := &c.arr[i]
-			if l.data != nil && l.dirty {
+			if c.tags[i] != invalidTag && l.dirty {
 				h.Writebacks++
-				h.writeback(now, l.addr, *l.data)
+				h.writeback(now, l.addr, l.data)
 				l.dirty = false
 				n++
 			}
@@ -320,31 +419,32 @@ func (h *Hierarchy) ForceWriteBackAll(now sim.Cycle) int {
 }
 
 // InvalidateAll drops every line — the volatile caches at a crash.
+// Only the tag arrays are reset; the stale line records are unreachable
+// once their tags are invalid.
 func (h *Hierarchy) InvalidateAll() {
-	clear := func(c *Cache) {
-		for i := range c.arr {
-			c.arr[i] = line{}
-		}
-	}
 	for i := range h.l1 {
-		clear(h.l1[i])
-		clear(h.l2[i])
+		fillInvalid(h.l1[i].tags)
+		fillInvalid(h.l2[i].tags)
 	}
-	clear(h.l3)
+	fillInvalid(h.l3.tags)
+}
+
+// Release returns every level's arrays to the pool for the next machine.
+// The hierarchy must not be used afterwards.
+func (h *Hierarchy) Release() {
+	for i := range h.l1 {
+		h.l1[i].Release()
+		h.l2[i].Release()
+	}
+	h.l3.Release()
 }
 
 func wordAt(d *[mem.LineSize]byte, addr mem.Addr) mem.Word {
 	o := addr.Word().LineOffset()
-	var w mem.Word
-	for i := 7; i >= 0; i-- {
-		w = w<<8 | mem.Word(d[o+i])
-	}
-	return w
+	return mem.Word(binary.LittleEndian.Uint64(d[o : o+8]))
 }
 
 func putWordAt(d *[mem.LineSize]byte, addr mem.Addr, w mem.Word) {
 	o := addr.Word().LineOffset()
-	for i := 0; i < 8; i++ {
-		d[o+i] = byte(w >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(d[o:o+8], uint64(w))
 }

@@ -13,7 +13,7 @@ import (
 	"silo/internal/sim"
 	"silo/internal/stats"
 	"silo/internal/telemetry"
-	"sort"
+	"slices"
 )
 
 // Options tunes Silo; the zero value gives the paper's configuration.
@@ -76,6 +76,13 @@ type Silo struct {
 	sumTotal     int64
 	sumRemaining int64
 	maxRemaining int
+
+	// Commit-path scratch, reused across transactions so the post-commit
+	// flush allocates nothing in steady state (the engine is single-
+	// threaded, so one set serves all cores).
+	runScratch []wordKV
+	runs       []wordRun
+	runBytes   []byte
 }
 
 var _ logging.Design = (*Silo)(nil)
@@ -232,7 +239,7 @@ func (s *Silo) TxEnd(core int, now sim.Cycle) sim.Cycle {
 	}
 
 	flushDone := now
-	for _, run := range contiguousRuns(st.buf.Entries()) {
+	for _, run := range s.contiguousRuns(st.buf.Entries()) {
 		accept, _ := s.env.PM.Write(now, run.addr, run.bytes)
 		if accept > flushDone {
 			flushDone = accept
@@ -248,41 +255,65 @@ type wordRun struct {
 	bytes []byte
 }
 
+// wordKV is one flush-bit-0 log word during run building; idx is the
+// entry's buffer position, so newest-in-append-order wins the dedupe.
+type wordKV struct {
+	addr mem.Addr
+	val  mem.Word
+	idx  int
+}
+
 // contiguousRuns gathers the new-data words still owed to the data region
 // (flush-bit 0) into maximal contiguous word runs, so words that share a
 // cacheline leave the memory controller as one combined write burst. The
-// entries are unique per word (merging), so sorting them is safe; the
-// on-PM buffer coalesces further (§III-E).
-func contiguousRuns(entries []logging.Entry) []wordRun {
-	// Dedupe per word keeping the newest value in append order, so the
-	// merge-disabled ablation (duplicate words in FIFO order) stays
-	// correct under the sort below.
-	newest := make(map[mem.Addr]mem.Word, len(entries))
-	for _, e := range entries {
+// entries are unique per word (merging); the merge-disabled ablation can
+// produce duplicates, which dedupe keeping the newest value in append
+// order. Scratch storage (including the byte arena backing the runs) is
+// reused across commits; the result is valid until the next call.
+func (s *Silo) contiguousRuns(entries []logging.Entry) []wordRun {
+	kvs := s.runScratch[:0]
+	for i, e := range entries {
 		if !e.FlushBit {
-			newest[e.Addr] = e.New
+			kvs = append(kvs, wordKV{addr: e.Addr, val: e.New, idx: i})
 		}
 	}
-	addrs := make([]mem.Addr, 0, len(newest))
-	for a := range newest {
-		addrs = append(addrs, a)
+	slices.SortFunc(kvs, func(a, b wordKV) int {
+		if a.addr != b.addr {
+			return int(a.addr) - int(b.addr)
+		}
+		return a.idx - b.idx
+	})
+	s.runScratch = kvs
+	// Reserve the arena up front so it never reallocates mid-loop (run
+	// byte slices alias it).
+	if cap(s.runBytes) < len(kvs)*mem.WordSize {
+		s.runBytes = make([]byte, 0, len(kvs)*mem.WordSize)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	var runs []wordRun
-	for _, a := range addrs {
+	runs, arena := s.runs[:0], s.runBytes[:0]
+	for i, kv := range kvs {
+		if i+1 < len(kvs) && kvs[i+1].addr == kv.addr {
+			continue // duplicate word: a newer append follows
+		}
 		n := len(runs)
-		if n > 0 && runs[n-1].addr+mem.Addr(len(runs[n-1].bytes)) == a &&
-			runs[n-1].addr.Line() == a.Line() {
-			var b [mem.WordSize]byte
-			putWord(b[:], newest[a])
-			runs[n-1].bytes = append(runs[n-1].bytes, b[:]...)
+		if n > 0 && runs[n-1].addr+mem.Addr(len(runs[n-1].bytes)) == kv.addr &&
+			runs[n-1].addr.Line() == kv.addr.Line() {
+			arena = appendWord(arena, kv.val)
+			runs[n-1].bytes = runs[n-1].bytes[:len(runs[n-1].bytes)+mem.WordSize]
 			continue
 		}
-		r := wordRun{addr: a, bytes: make([]byte, mem.WordSize)}
-		putWord(r.bytes, newest[a])
-		runs = append(runs, r)
+		start := len(arena)
+		arena = appendWord(arena, kv.val)
+		runs = append(runs, wordRun{addr: kv.addr, bytes: arena[start:len(arena)]})
 	}
+	s.runs, s.runBytes = runs, arena
 	return runs
+}
+
+// appendWord appends v's little-endian bytes to b.
+func appendWord(b []byte, v mem.Word) []byte {
+	var w [mem.WordSize]byte
+	putWord(w[:], v)
+	return append(b, w[:]...)
 }
 
 // CachelineEvicted routes a dirty LLC eviction to the PM data region and

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+
+	"silo/internal/stats"
+	"silo/internal/telemetry"
+)
+
+// eventLog records the probe-event stream verbatim so two runs can be
+// compared event by event, not just by their end-of-run record.
+type eventLog struct {
+	events []telemetry.Event
+}
+
+func (l *eventLog) Event(e telemetry.Event) { l.events = append(l.events, e) }
+
+// The cooperative scheduler must be observationally identical to the
+// legacy goroutine shim: for every design x workload pair, the same seed
+// produces the same run record (stats.Run is comparable, so == is the
+// full-struct check) and the same telemetry event stream. This is the
+// contract that let the engine core be rewritten without re-validating
+// any paper figure.
+func TestLegacyShimMatchesCooperativeScheduler(t *testing.T) {
+	run := func(t *testing.T, design, wl string, legacy bool) (stats.Run, []telemetry.Event) {
+		t.Helper()
+		log := &eventLog{}
+		r, err := Run(Spec{
+			Design: design, Workload: wl, Cores: 2, Txns: 24, Seed: 7,
+			LegacyEngine: legacy,
+			Telemetry:    telemetry.NewRecorder(log),
+		})
+		if err != nil {
+			t.Fatalf("%s/%s legacy=%v: %v", design, wl, legacy, err)
+		}
+		return r, log.events
+	}
+
+	for _, design := range DesignNames() {
+		for _, wl := range Fig4Names() {
+			design, wl := design, wl
+			t.Run(design+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				coop, coopEv := run(t, design, wl, false)
+				shim, shimEv := run(t, design, wl, true)
+				if coop != shim {
+					t.Errorf("run records diverge:\ncooperative: %+v\nlegacy shim: %+v", coop, shim)
+				}
+				if len(coopEv) != len(shimEv) {
+					t.Fatalf("event streams diverge: %d cooperative events vs %d legacy", len(coopEv), len(shimEv))
+				}
+				for i := range coopEv {
+					if coopEv[i] != shimEv[i] {
+						t.Fatalf("event %d diverges:\ncooperative: %v\nlegacy shim: %v", i, coopEv[i], shimEv[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -85,6 +85,12 @@ type Spec struct {
 	// machine layer (see internal/telemetry): attach a ChromeTrace sink
 	// for a Perfetto timeline or an IntervalSampler for windowed metrics.
 	Telemetry *telemetry.Recorder
+
+	// LegacyEngine drives the run through the goroutine-per-core channel
+	// shim instead of native op streams. Both schedulers are op-for-op
+	// equivalent (see TestSchedulerEquivalence); the flag exists for that
+	// test and for measuring the old transport's overhead.
+	LegacyEngine bool
 }
 
 // DesignFactory resolves a design name to its factory.
@@ -178,7 +184,10 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 
 // Run executes the spec to completion and returns the run record.
 func Run(spec Spec) (stats.Run, error) {
-	_, r, err := RunMachine(spec)
+	m, r, err := RunMachine(spec)
+	if m != nil {
+		m.Release() // the machine is private to this call; recycle its pools
+	}
 	return r, err
 }
 
@@ -197,15 +206,23 @@ func RunMachine(spec Spec) (*machine.Machine, stats.Run, error) {
 		cores = 1
 	}
 	eng := m.Engine(spec.Seed)
-	programs := make([]sim.Program, cores)
 	per := spec.Txns / cores
 	if per < 1 {
 		per = 1
 	}
-	for c := 0; c < cores; c++ {
-		programs[c] = wl.Program(c, per)
+	if spec.LegacyEngine {
+		programs := make([]sim.Program, cores)
+		for c := 0; c < cores; c++ {
+			programs[c] = wl.Program(c, per)
+		}
+		eng.Run(programs)
+	} else {
+		streams := make([]sim.OpStream, cores)
+		for c := 0; c < cores; c++ {
+			streams[c] = wl.Stream(c, per, sim.CoreRand(spec.Seed, c))
+		}
+		eng.RunStreams(streams)
 	}
-	eng.Run(programs)
 	return m, m.CollectStats(spec.Design, spec.Workload), nil
 }
 
@@ -222,10 +239,10 @@ func ReplayRun(spec Spec, tr *trace.Trace) (stats.Run, error) {
 		return stats.Run{}, err
 	}
 	eng := m.Engine(spec.Seed)
-	programs := make([]sim.Program, spec.Cores)
+	streams := make([]sim.OpStream, spec.Cores)
 	for c := 0; c < spec.Cores; c++ {
-		programs[c] = tr.Program(c)
+		streams[c] = tr.Stream(c)
 	}
-	eng.Run(programs)
+	eng.RunStreams(streams)
 	return m.CollectStats(spec.Design, spec.Workload+"(replay)"), nil
 }

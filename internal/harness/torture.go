@@ -254,6 +254,7 @@ func RunCampaign(c Campaign) CampaignOutcome {
 		out.Err = err
 		return out
 	}
+	defer m.Release() // outcome extraction below is the machine's last use
 	if m.WatchdogFired() {
 		// The sim-cycle budget killed a livelocked run; no battery flush
 		// ran, so there is no durability verdict to extract.

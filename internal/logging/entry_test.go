@@ -1,0 +1,32 @@
+package logging
+
+import "testing"
+
+// The table-driven CRC must match the reference CRC-16/CCITT-FALSE
+// check value ("123456789" -> 0x29B1) and the bit-serial definition.
+func TestCRC16KnownAnswer(t *testing.T) {
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("crc16 check value = %#04x, want 0x29b1", got)
+	}
+	bitSerial := func(b []byte) uint16 {
+		crc := uint16(0xFFFF)
+		for _, c := range b {
+			crc ^= uint16(c) << 8
+			for i := 0; i < 8; i++ {
+				if crc&0x8000 != 0 {
+					crc = crc<<1 ^ 0x1021
+				} else {
+					crc <<= 1
+				}
+			}
+		}
+		return crc
+	}
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i*37 + 11)
+		if got, want := crc16(buf[:i+1]), bitSerial(buf[:i+1]); got != want {
+			t.Fatalf("len %d: table crc %#04x != bit-serial %#04x", i+1, got, want)
+		}
+	}
+}

@@ -76,12 +76,12 @@ type Machine struct {
 	aud       *audit.Auditor
 	bufDesign audit.BufferedDesign // non-nil when design is buffer-based (Silo)
 	tel       *telemetry.Recorder  // cfg.Telemetry plus the auditor sink; nil when both are off
+	ticker    logging.Ticker       // non-nil when the design wants per-op ticks
+	mcReader  logging.MCReader     // non-nil when the design buffers lines at the MC
 
-	inTx      []bool
-	pending   []map[mem.Addr]mem.Word // per-core uncommitted writes (golden)
-	committed map[mem.Addr]mem.Word   // golden committed state
-	baseline  map[mem.Addr]mem.Word   // pre-first-write values
-	unsafeW   map[mem.Addr]bool       // words written outside transactions
+	inTx    []bool
+	pending []*txWrites  // per-core uncommitted writes (golden)
+	shadow  *shadowTable // golden committed/baseline/unsafe state per word
 
 	plan          *fault.Plan
 	crashPending  bool  // event trigger matched; crash at the next op
@@ -119,15 +119,13 @@ func New(cfg Config) *Machine {
 		cfg.PersistPath = 60
 	}
 	m := &Machine{
-		cfg:       cfg,
-		dev:       pm.New(cfg.PM),
-		inTx:      make([]bool, cfg.Cores),
-		committed: make(map[mem.Addr]mem.Word),
-		baseline:  make(map[mem.Addr]mem.Word),
-		unsafeW:   make(map[mem.Addr]bool),
+		cfg:    cfg,
+		dev:    pm.New(cfg.PM),
+		inTx:   make([]bool, cfg.Cores),
+		shadow: newShadowTable(),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		m.pending = append(m.pending, make(map[mem.Addr]mem.Word))
+		m.pending = append(m.pending, newTxWrites())
 	}
 	m.txBeganAt = make([]sim.Cycle, cfg.Cores)
 	m.hier = cache.NewHierarchy(cfg.Cores, cfg.Cache, m.fill, m.writeback)
@@ -142,6 +140,12 @@ func New(cfg Config) *Machine {
 		PersistPath:   cfg.PersistPath,
 	}
 	m.design = cfg.Design(env)
+	if t, ok := m.design.(logging.Ticker); ok {
+		m.ticker = t
+	}
+	if r, ok := m.design.(logging.MCReader); ok {
+		m.mcReader = r
+	}
 	var auditOpts []audit.Option
 	if cfg.AuditTrail > 0 {
 		auditOpts = append(auditOpts, audit.TrailSize(cfg.AuditTrail))
@@ -225,6 +229,12 @@ func (m *Machine) Commits() int64 { return m.commits }
 // Crashed reports whether a crash was injected.
 func (m *Machine) Crashed() bool { return m.engine != nil && m.engine.Crashed() }
 
+// Release returns the machine's pooled resources (the cache hierarchy's
+// line and tag arrays) for reuse by the next machine. The machine must
+// not be used afterwards. Callers that drop a machine without Release
+// just fall back to the garbage collector.
+func (m *Machine) Release() { m.hier.Release() }
+
 // Now returns the simulated wall clock.
 func (m *Machine) Now() sim.Cycle {
 	if m.engine == nil {
@@ -234,14 +244,13 @@ func (m *Machine) Now() sim.Cycle {
 }
 
 func (m *Machine) fill(la mem.Addr, now sim.Cycle) ([mem.LineSize]byte, sim.Cycle) {
-	if r, ok := m.design.(logging.MCReader); ok {
-		if data, hit := r.MCBuffered(la); hit {
+	if m.mcReader != nil {
+		if data, hit := m.mcReader.MCBuffered(la); hit {
 			return data, m.cfg.MCReadL
 		}
 	}
-	b, lat := m.dev.Read(now, la, mem.LineSize)
 	var line [mem.LineSize]byte
-	copy(line[:], b)
+	lat := m.dev.ReadInto(now, la, line[:])
 	return line, lat
 }
 
@@ -268,8 +277,8 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 	if m.cfg.Trace != nil {
 		m.cfg.Trace.Op(core, op)
 	}
-	if t, ok := m.design.(logging.Ticker); ok {
-		t.Tick(now)
+	if m.ticker != nil {
+		m.ticker.Tick(now)
 	}
 	switch op.Kind {
 	case sim.OpLoad:
@@ -285,20 +294,19 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 			m.aud.CheckLogBuffer(core, m.bufDesign.LogBuffer(core), m.bufDesign.MergeEnabled(), op.Addr)
 		}
 		if m.inTx[core] {
-			if _, seen := m.baseline[op.Addr]; !seen {
-				m.baseline[op.Addr] = old
+			if e := m.shadow.getOrInsert(op.Addr); e.flags&shadowHasBaseline == 0 {
+				e.baseline = old
+				e.flags |= shadowHasBaseline
 			}
-			m.pending[core][op.Addr] = op.Data
+			m.pending[core].put(op.Addr, op.Data)
 		} else {
-			m.unsafeW[op.Addr] = true
+			m.shadow.getOrInsert(op.Addr).flags |= shadowUnsafe
 		}
 		return sim.Result{Latency: lat + extra}
 	case sim.OpTxBegin:
 		m.inTx[core] = true
 		m.txBeganAt[core] = now
-		for a := range m.pending[core] {
-			delete(m.pending[core], a)
-		}
+		m.pending[core].reset()
 		m.tel.TxBegin(core, now, m.commits)
 		return sim.Result{Latency: 1 + m.design.TxBegin(core, now)}
 	case sim.OpTxEnd:
@@ -309,10 +317,10 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 		m.txHist.Observe(int64(txLat))
 		m.inTx[core] = false
 		m.commits++
-		m.txStoreAcc += int64(len(m.pending[core]))
+		m.txStoreAcc += int64(m.pending[core].len())
 		// The probe precedes the audit checks so a violation there is
 		// stamped with this commit's cycle and sees it in the trail.
-		m.tel.TxCommit(core, now+extra, extra, len(m.pending[core]), txLat)
+		m.tel.TxCommit(core, now+extra, extra, m.pending[core].len(), txLat)
 		if reg := m.tel.Metrics(); reg != nil {
 			reg.Histogram("commit-stall-cycles").Observe(int64(extra))
 			reg.Histogram("tx-latency-cycles").Observe(int64(txLat))
@@ -324,9 +332,9 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 				// transaction is already durable (WPQ-accepted in-place
 				// update or cacheline eviction). Words also written
 				// outside transactions are unverifiable and skipped.
-				for a, v := range m.pending[core] {
-					if !m.unsafeW[a] {
-						m.aud.CheckCommitDurability(core, a, v, m.dev.PeekWord(a))
+				for _, kv := range m.pending[core].entries {
+					if e := m.shadow.get(kv.addr); e == nil || e.flags&shadowUnsafe == 0 {
+						m.aud.CheckCommitDurability(core, kv.addr, kv.val, m.dev.PeekWord(kv.addr))
 					}
 				}
 			}
@@ -335,10 +343,12 @@ func (m *Machine) Exec(core int, op sim.Op, now sim.Cycle) sim.Result {
 				m.aud.CheckWPQ(ch, q.Occupancy(now), q.Capacity())
 			}
 		}
-		for a, v := range m.pending[core] {
-			m.committed[a] = v
-			delete(m.pending[core], a)
+		for _, kv := range m.pending[core].entries {
+			e := m.shadow.getOrInsert(kv.addr)
+			e.committed = kv.val
+			e.flags |= shadowHasCommitted
 		}
+		m.pending[core].reset()
 		if m.plan != nil && m.plan.Trigger == fault.TriggerCommit && m.commits >= m.plan.AfterCommits {
 			// Crash at the next operation: inside the commit window, with
 			// the committed transaction's in-place updates still in flight.
@@ -390,14 +400,16 @@ func (m *Machine) InjectCrash(now sim.Cycle) {
 		if persistCaches {
 			allowed = make(map[mem.Addr][]mem.Word, len(before))
 			for a := range before {
-				if v, ok := m.baseline[a]; ok {
-					allowed[a] = append(allowed[a], v)
-				}
-				if v, ok := m.committed[a]; ok {
-					allowed[a] = append(allowed[a], v)
+				if e := m.shadow.get(a); e != nil {
+					if e.flags&shadowHasBaseline != 0 {
+						allowed[a] = append(allowed[a], e.baseline)
+					}
+					if e.flags&shadowHasCommitted != 0 {
+						allowed[a] = append(allowed[a], e.committed)
+					}
 				}
 				for c := range m.pending {
-					if v, ok := m.pending[c][a]; ok {
+					if v, ok := m.pending[c].get(a); ok {
 						allowed[a] = append(allowed[a], v)
 					}
 				}
@@ -471,14 +483,15 @@ func (m *Machine) InjectCrash(now sim.Cycle) {
 // ok is false for words the verifier must skip (never written in a
 // transaction, or tainted by non-transactional stores).
 func (m *Machine) GoldenCommitted(addr mem.Addr) (mem.Word, bool) {
-	if m.unsafeW[addr] {
+	e := m.shadow.get(addr)
+	if e == nil || e.flags&shadowUnsafe != 0 {
 		return 0, false
 	}
-	if v, ok := m.committed[addr]; ok {
-		return v, true
+	if e.flags&shadowHasCommitted != 0 {
+		return e.committed, true
 	}
-	if v, ok := m.baseline[addr]; ok {
-		return v, true
+	if e.flags&shadowHasBaseline != 0 {
+		return e.baseline, true
 	}
 	return 0, false
 }
@@ -486,10 +499,10 @@ func (m *Machine) GoldenCommitted(addr mem.Addr) (mem.Word, bool) {
 // WrittenWords returns every word address that participated in any
 // transaction (committed or not), for recovery verification sweeps.
 func (m *Machine) WrittenWords() []mem.Addr {
-	out := make([]mem.Addr, 0, len(m.baseline))
-	for a := range m.baseline {
-		if !m.unsafeW[a] {
-			out = append(out, a)
+	out := make([]mem.Addr, 0, len(m.shadow.entries))
+	for i := range m.shadow.entries {
+		if e := &m.shadow.entries[i]; e.flags&(shadowHasBaseline|shadowUnsafe) == shadowHasBaseline {
+			out = append(out, e.addr)
 		}
 	}
 	return out

@@ -25,7 +25,9 @@
 package pm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"silo/internal/mem"
 	"silo/internal/sim"
@@ -80,27 +82,17 @@ type Stats struct {
 	Reads       int64
 }
 
-type bufLine struct {
-	base  mem.Addr // BufLineSize-aligned
-	data  []byte
-	dirty []bool
-	lru   int64
-}
-
 // Device is the simulated PM DIMM plus the controller-side WPQs (one per
-// channel).
+// channel). The durable media (64 B lines, with the per-line wear
+// counter inline) and the on-PM buffer live in the flattened
+// open-addressed tables of table.go.
 type Device struct {
 	cfg   Config
-	media map[mem.Addr]*[mem.LineSize]byte // durable media, 64 B lines
-	buf   map[mem.Addr]*bufLine            // on-PM buffer, BufLineSize lines
+	media *mediaTable
+	buf   *bufTable
 	wpq   []*sim.ServiceQueue
 	tick  int64 // LRU clock for the on-PM buffer
 	stats Stats
-
-	// wear counts media write requests per 64 B line — the input to the
-	// endurance/hotspot analysis (PCM cells die where writes concentrate;
-	// wear leveling can only smooth so much).
-	wear map[mem.Addr]int64
 
 	energy crashEnergy
 
@@ -198,9 +190,8 @@ func New(cfg Config) *Device {
 	}
 	d := &Device{
 		cfg:   cfg,
-		media: make(map[mem.Addr]*[mem.LineSize]byte),
-		buf:   make(map[mem.Addr]*bufLine),
-		wear:  make(map[mem.Addr]int64),
+		media: newMediaTable(),
+		buf:   newBufTable(cfg.BufLines, cfg.BufLineSize),
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		d.wpq = append(d.wpq, sim.NewServiceQueue(cfg.WPQEntries))
@@ -247,33 +238,34 @@ func (d *Device) Populate(addr mem.Addr, data []byte) {
 		n := copy(d.mediaLine(line)[off:], data[i:])
 		i += n
 	}
-	if !d.cfg.Coalescing || len(d.buf) == 0 {
+	if !d.cfg.Coalescing || d.buf.n == 0 {
 		return
 	}
 	bls := mem.Addr(d.cfg.BufLineSize)
 	first := addr &^ (bls - 1)
 	last := (addr + mem.Addr(len(data)) - 1) &^ (bls - 1)
 	for base := first; base <= last; base += bls {
-		bl, ok := d.buf[base]
-		if !ok {
+		bl := d.buf.get(base)
+		if bl == nil {
 			continue
 		}
-		for i := 0; i < len(data); i++ {
-			a := addr + mem.Addr(i)
-			if a >= base && a < base+bls && bl.dirty[int(a-base)] {
-				bl.data[int(a-base)] = data[i]
+		lo, hi := addr, addr+mem.Addr(len(data))
+		if lo < base {
+			lo = base
+		}
+		if hi > base+bls {
+			hi = base + bls
+		}
+		for a := lo; a < hi; a++ {
+			if off := int(a - base); bl.isDirty(off) {
+				bl.data[off] = data[a-addr]
 			}
 		}
 	}
 }
 
 func (d *Device) mediaLine(line mem.Addr) *[mem.LineSize]byte {
-	l, ok := d.media[line]
-	if !ok {
-		l = new([mem.LineSize]byte)
-		d.media[line] = l
-	}
-	return l
+	return &d.media.getOrInsert(line).data
 }
 
 // Write submits one write request of len(data) bytes at addr, arriving at
@@ -325,80 +317,79 @@ func (d *Device) apply(addr mem.Addr, data []byte) {
 }
 
 func (d *Device) bufMerge(base mem.Addr, off int, data []byte) {
-	bl, ok := d.buf[base]
-	if !ok {
-		bl = &bufLine{
-			base:  base,
-			data:  make([]byte, d.cfg.BufLineSize),
-			dirty: make([]bool, d.cfg.BufLineSize),
-		}
-		d.buf[base] = bl
+	bl, idx, inserted := d.buf.getOrInsert(base)
+	if inserted {
 		d.tel.PMBufOpen(d.now, base, len(data))
-		if len(d.buf) > d.cfg.BufLines {
-			d.evictLRU(base)
-		}
 	} else {
 		d.tel.PMBufMerge(d.now, base, len(data))
 	}
 	copy(bl.data[off:], data)
-	for i := off; i < off+len(data); i++ {
-		bl.dirty[i] = true
-	}
+	bl.markDirty(off, len(data))
 	d.tick++
 	bl.lru = d.tick
+	d.buf.touch(idx)
+	if inserted && d.buf.n > d.cfg.BufLines {
+		d.evictLRU(base)
+	}
 }
 
+// evictLRU flushes the least-recently-touched buffer line other than
+// keep: the recency-list head, or its successor when the head is keep
+// (the line just merged into).
 func (d *Device) evictLRU(keep mem.Addr) {
-	var victim *bufLine
-	for _, bl := range d.buf {
-		if bl.base == keep {
-			continue
-		}
-		if victim == nil || bl.lru < victim.lru {
-			victim = bl
-		}
+	v := d.buf.head
+	if v >= 0 && d.buf.pool[v].base == keep {
+		v = d.buf.next[v]
 	}
-	if victim != nil {
-		d.flushBufLine(victim)
+	if v >= 0 {
+		d.flushBufLine(&d.buf.pool[v])
 	}
 }
 
 // flushBufLine applies a buffer line's dirty bytes to the media, counting
 // one media write request per 64 B chunk that actually changes (DCW), or
-// per dirty chunk when DCW is disabled.
+// per dirty chunk when DCW is disabled. The byte compare-and-merge runs
+// a word at a time: the chunk's dirty bits select byte lanes via
+// byteMask, and one masked XOR per word finds the changed bytes.
 func (d *Device) flushBufLine(bl *bufLine) {
-	delete(d.buf, bl.base)
+	d.buf.del(bl.base)
 	programmed, suppressed, requests := 0, 0, 0
 	for chunk := 0; chunk < d.cfg.BufLineSize; chunk += mem.LineSize {
-		line := bl.base + mem.Addr(chunk)
-		ml := d.mediaLine(line)
+		dirtyBits := bl.dirty[chunk>>6] // mem.LineSize == one bitmap word
+		if dirtyBits == 0 {
+			continue
+		}
+		me := d.media.getOrInsert(bl.base + mem.Addr(chunk))
 		changed, dirty := 0, 0
-		for i := 0; i < mem.LineSize; i++ {
-			if !bl.dirty[chunk+i] {
+		for w := 0; w < mem.LineSize; w += mem.WordSize {
+			dm := uint8(dirtyBits >> w) // bit offset == byte offset
+			if dm == 0 {
 				continue
 			}
-			dirty++
-			if ml[i] != bl.data[chunk+i] {
-				changed++
-				ml[i] = bl.data[chunk+i]
+			dirty += bits.OnesCount8(dm)
+			m := byteMask[dm]
+			oldW := binary.LittleEndian.Uint64(me.data[w:])
+			newW := binary.LittleEndian.Uint64(bl.data[chunk+w:])
+			diff := (oldW ^ newW) & m
+			if diff == 0 {
+				continue
 			}
-		}
-		if dirty == 0 {
-			continue
+			changed += nonzeroBytes(diff)
+			binary.LittleEndian.PutUint64(me.data[w:], (oldW&^m)|(newW&m))
 		}
 		if d.cfg.DCW {
 			suppressed += dirty - changed
 			if changed > 0 {
 				d.stats.MediaWrites++
 				d.stats.MediaBytes += int64(changed)
-				d.wear[line]++
+				me.wear++
 				programmed += changed
 				requests++
 			}
 		} else {
 			d.stats.MediaWrites++
 			d.stats.MediaBytes += mem.LineSize
-			d.wear[line]++
+			me.wear++
 			programmed += mem.LineSize
 			requests++
 		}
@@ -415,24 +406,24 @@ func (d *Device) writeMedia(addr mem.Addr, data []byte) {
 		if n > len(data) {
 			n = len(data)
 		}
-		ml := d.mediaLine(line)
+		me := d.media.getOrInsert(line)
 		changed := 0
 		for i := 0; i < n; i++ {
-			if ml[off+i] != data[i] {
+			if me.data[off+i] != data[i] {
 				changed++
-				ml[off+i] = data[i]
+				me.data[off+i] = data[i]
 			}
 		}
 		if d.cfg.DCW {
 			if changed > 0 {
 				d.stats.MediaWrites++
 				d.stats.MediaBytes += int64(changed)
-				d.wear[line]++
+				me.wear++
 			}
 		} else {
 			d.stats.MediaWrites++
 			d.stats.MediaBytes += int64(n)
-			d.wear[line]++
+			me.wear++
 		}
 		addr += mem.Addr(n)
 		data = data[n:]
@@ -445,12 +436,21 @@ func (d *Device) writeMedia(addr mem.Addr, data []byte) {
 // occupying the channel: each pending WPQ entry on the target channel adds
 // a small interference penalty.
 func (d *Device) Read(arrival sim.Cycle, addr mem.Addr, n int) ([]byte, sim.Cycle) {
+	out := make([]byte, n)
+	lat := d.ReadInto(arrival, addr, out)
+	return out, lat
+}
+
+// ReadInto is Read without the allocation: the caller supplies the
+// destination (the cache fill path passes the line buffer directly).
+func (d *Device) ReadInto(arrival sim.Cycle, addr mem.Addr, out []byte) sim.Cycle {
 	d.stats.Reads++
 	if arrival > d.now {
 		d.now = arrival
 	}
 	lat := d.cfg.ReadLatency + readInterferencePerEntry*sim.Cycle(d.channel(addr).Occupancy(arrival))
-	return d.Peek(addr, n), lat
+	d.PeekInto(addr, out)
+	return lat
 }
 
 // readInterferencePerEntry is the extra read latency per write already
@@ -461,31 +461,79 @@ const readInterferencePerEntry sim.Cycle = 2
 // test verification use it.
 func (d *Device) Peek(addr mem.Addr, n int) []byte {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
+	d.PeekInto(addr, out)
+	return out
+}
+
+// PeekInto fills out with durable bytes starting at addr: the media
+// contents, overlaid with any dirty on-PM buffer bytes shadowing them.
+func (d *Device) PeekInto(addr mem.Addr, out []byte) {
+	for i := 0; i < len(out); {
 		a := addr + mem.Addr(i)
-		if d.cfg.Coalescing {
-			bls := mem.Addr(d.cfg.BufLineSize)
-			base := a &^ (bls - 1)
-			if bl, ok := d.buf[base]; ok && bl.dirty[int(a-base)] {
-				out[i] = bl.data[int(a-base)]
-				continue
+		off := a.LineOffset()
+		n := mem.LineSize - off
+		if rem := len(out) - i; n > rem {
+			n = rem
+		}
+		seg := out[i : i+n]
+		if me := d.media.get(a.Line()); me != nil {
+			copy(seg, me.data[off:off+n])
+		} else {
+			clear(seg)
+		}
+		i += n
+	}
+	if !d.cfg.Coalescing || d.buf.n == 0 {
+		return
+	}
+	bls := mem.Addr(d.cfg.BufLineSize)
+	first := addr &^ (bls - 1)
+	last := (addr + mem.Addr(len(out)) - 1) &^ (bls - 1)
+	for base := first; base <= last; base += bls {
+		bl := d.buf.get(base)
+		if bl == nil {
+			continue
+		}
+		lo, hi := addr, addr+mem.Addr(len(out))
+		if lo < base {
+			lo = base
+		}
+		if hi > base+bls {
+			hi = base + bls
+		}
+		for a := lo; a < hi; a++ {
+			if off := int(a - base); bl.isDirty(off) {
+				out[a-addr] = bl.data[off]
 			}
 		}
-		if ml, ok := d.media[a.Line()]; ok {
-			out[i] = ml[a.LineOffset()]
-		}
 	}
-	return out
 }
 
 // PeekWord returns the durable 8-byte word at addr.
 func (d *Device) PeekWord(addr mem.Addr) mem.Word {
-	b := d.Peek(addr.Word(), mem.WordSize)
-	var w mem.Word
-	for i := 7; i >= 0; i-- {
-		w = w<<8 | mem.Word(b[i])
+	// Direct word path: one media probe plus a masked buffer overlay —
+	// the commit-durability audit peeks every committed word, so the
+	// general byte loop of PeekInto is too slow here. A word is always
+	// inside one media line and one buffer line (both are 64 B-aligned
+	// and a multiple of the word size), and its 8 dirty bits sit inside
+	// one bitmap word.
+	addr = addr.Word()
+	var w uint64
+	if me := d.media.get(addr.Line()); me != nil {
+		w = binary.LittleEndian.Uint64(me.data[addr.LineOffset():])
 	}
-	return w
+	if !d.cfg.Coalescing || d.buf.n == 0 {
+		return mem.Word(w)
+	}
+	base := addr &^ (mem.Addr(d.cfg.BufLineSize) - 1)
+	if bl := d.buf.get(base); bl != nil {
+		off := int(addr - base)
+		if dm := uint8(bl.dirty[off>>6] >> (off & 63)); dm != 0 {
+			m := byteMask[dm]
+			w = (w &^ m) | (binary.LittleEndian.Uint64(bl.data[off:]) & m)
+		}
+	}
+	return mem.Word(w)
 }
 
 // PokeWord writes a word durably with no timing (recovery uses it; the
@@ -511,7 +559,7 @@ func (d *Device) Erase(addr mem.Addr, n int) {
 		first := addr &^ (bls - 1)
 		last := (addr + mem.Addr(n) - 1) &^ (bls - 1)
 		for base := first; base <= last; base += bls {
-			if bl, ok := d.buf[base]; ok {
+			if bl := d.buf.get(base); bl != nil {
 				d.flushBufLine(bl)
 			}
 		}
@@ -519,20 +567,20 @@ func (d *Device) Erase(addr mem.Addr, n int) {
 	d.Populate(addr, make([]byte, n))
 }
 
-// DrainAll flushes every on-PM buffer line to the media, finalizing the
-// media-write accounting at the end of a run.
+// DrainAll flushes every on-PM buffer line to the media in address
+// order, finalizing the media-write accounting at the end of a run.
 func (d *Device) DrainAll() {
-	for {
-		var any *bufLine
-		for _, bl := range d.buf {
-			if any == nil || bl.base < any.base {
-				any = bl
+	for d.buf.n > 0 {
+		var next *bufLine
+		for i := range d.buf.pool {
+			if !d.buf.used[i] {
+				continue
+			}
+			if bl := &d.buf.pool[i]; next == nil || bl.base < next.base {
+				next = bl
 			}
 		}
-		if any == nil {
-			return
-		}
-		d.flushBufLine(any)
+		d.flushBufLine(next)
 	}
 }
 
@@ -550,12 +598,16 @@ type Wear struct {
 func (d *Device) WearStats() Wear {
 	var w Wear
 	var total int64
-	for line, n := range d.wear {
-		total += n
+	for i := range d.media.entries {
+		e := &d.media.entries[i]
+		if e.wear == 0 {
+			continue
+		}
+		total += e.wear
 		w.LinesTouched++
-		if n > w.MaxWrites {
-			w.MaxWrites = n
-			w.HottestLine = line
+		if e.wear > w.MaxWrites {
+			w.MaxWrites = e.wear
+			w.HottestLine = e.line
 		}
 	}
 	if w.LinesTouched > 0 {
@@ -571,5 +623,5 @@ func (d *Device) String() string {
 		accepted += q.Accepted()
 	}
 	return fmt.Sprintf("pm.Device{lines=%d bufLines=%d channels=%d wpqAccepted=%d mediaWrites=%d}",
-		len(d.media), len(d.buf), len(d.wpq), accepted, d.stats.MediaWrites)
+		len(d.media.entries), d.buf.n, len(d.wpq), accepted, d.stats.MediaWrites)
 }

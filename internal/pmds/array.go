@@ -33,6 +33,11 @@ func (a *Array) elem(i, w int) mem.Addr {
 	return word(a.base+mem.Addr(i*mem.LineSize), w)
 }
 
+// Elem returns the address of word w of element i — exported so native
+// op streams (which schedule loads and stores themselves instead of
+// running Swap's control flow) address the same layout.
+func (a *Array) Elem(i, w int) mem.Addr { return a.elem(i, w) }
+
 // Len returns the element count.
 func (a *Array) Len() int { return a.n }
 

@@ -1,0 +1,81 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// flags into a command-line tool. Every binary in cmd/ shares this so
+// the flags behave identically across silo-sim, silo-bench and
+// silo-torture, and so the flush-on-exit discipline lives in one place:
+// os.Exit skips deferred calls, so fatal-error paths must call Stop
+// explicitly before exiting.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profile destinations for one tool.
+type Flags struct {
+	tool     string
+	cpu, mem *string
+	cpuFile  *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set.
+// Call before flag.Parse; tool names the binary in error messages.
+func Register(tool string) *Flags {
+	return &Flags{
+		tool: tool,
+		cpu:  flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:  flag.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after
+// flag.Parse.
+func (f *Flags) Start() error {
+	if f == nil || *f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(*f.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop flushes the CPU profile (if running) and writes the allocation
+// profile (if requested). Idempotent, and safe on a nil receiver, so
+// both the normal return and every fatal path can call it.
+func (f *Flags) Stop() {
+	if f == nil {
+		return
+	}
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: cpuprofile: %v\n", f.tool, err)
+		}
+		f.cpuFile = nil
+	}
+	if *f.mem != "" {
+		file, err := os.Create(*f.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", f.tool, err)
+			return
+		}
+		runtime.GC() // settle live heap so the profile reflects retained memory
+		if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", f.tool, err)
+		}
+		if err := file.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", f.tool, err)
+		}
+		*f.mem = ""
+	}
+}

@@ -2,17 +2,26 @@
 // Silo reproduction: deterministic multi-core scheduling at memory-operation
 // granularity, a cycle clock, and shared-resource service queues.
 //
-// Each simulated core runs its workload as a goroutine (a Program) that
-// issues operations through a Ctx. The engine serializes all operations,
-// always advancing the core with the smallest local time, so runs are
-// deterministic for a given seed and shared-queue contention is causal:
-// reservations on shared resources are made in nondecreasing global time.
+// The engine is a single-goroutine cooperative scheduler: each simulated
+// core exposes its workload as a pull-based OpStream, and the engine
+// repeatedly executes the next operation of the core with the smallest
+// local time, so runs are deterministic for a given seed and shared-queue
+// contention is causal: reservations on shared resources are made in
+// nondecreasing global time. The steady-state path performs zero channel
+// operations and zero heap allocations per op.
+//
+// Workloads written as plain Go functions (a Program issuing operations
+// through a Ctx) run on one of two transports: NewProgramStream suspends
+// the function on a runtime coroutine (iter.Pull) — the fast path — while
+// Engine.Run keeps the legacy goroutine-per-program channel handoff alive
+// as a compatibility shim for callers not yet ported (and as the reference
+// scheduler for determinism-equivalence tests).
 package sim
 
 import (
 	"errors"
 	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"silo/internal/mem"
 )
@@ -75,40 +84,45 @@ type Executor interface {
 }
 
 // ErrCrashed is the panic value used to unwind core programs when the
-// engine injects a crash; the engine recovers it internally.
+// engine injects a crash; the transports recover it internally.
 var ErrCrashed = errors.New("sim: machine crashed")
 
 // Program is the body of one core's workload. It must issue all memory
 // traffic through ctx and return when its share of work is done.
 type Program func(ctx *Ctx)
 
-type request struct {
-	op   Op
-	resp chan Result
+// OpStream is one core's workload as a pull-based operation stream — the
+// interface the cooperative engine drives directly.
+//
+// The engine alternates Next and Deliver: Next returns the core's next
+// operation (false when the stream is exhausted), the engine executes it,
+// and Deliver hands back the result before the next Next. A Result with
+// negative Latency is the crash sentinel: the machine lost power, the
+// operation did not execute, and the stream must return false from every
+// subsequent Next call.
+type OpStream interface {
+	Next() (Op, bool)
+	Deliver(Result)
 }
 
 // Ctx is the interface a Program uses to talk to the engine. It is bound
-// to one core and must only be used from that Program's goroutine.
+// to one core and must only be used from that Program's control flow.
 type Ctx struct {
-	core int
-	eng  *Engine
-	req  chan request
-	resp chan Result
+	core  int
+	issue func(Op) Result
 	// Rand is a per-core deterministic random source (seed + core id).
 	Rand *rand.Rand
 }
 
+// CoreRand returns core i's deterministic random source for an engine
+// seed — the single definition both transports and native streams share,
+// so every scheduler produces identical random sequences.
+func CoreRand(seed int64, core int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(core)*1_000_003))
+}
+
 // Core returns the core index this context is bound to.
 func (c *Ctx) Core() int { return c.core }
-
-func (c *Ctx) issue(op Op) Result {
-	c.req <- request{op: op, resp: c.resp}
-	r := <-c.resp
-	if r.Latency < 0 { // crash sentinel
-		panic(ErrCrashed)
-	}
-	return r
-}
 
 // Load reads the 8-byte word at addr (word-aligned).
 func (c *Ctx) Load(addr mem.Addr) mem.Word {
@@ -134,14 +148,25 @@ func (c *Ctx) Compute(n Cycle) {
 	}
 }
 
-// Engine coordinates the per-core program goroutines and the executor.
+// slot is the engine's per-core scheduling state: the fetched-but-not-yet
+// executed operation, if any.
+type slot struct {
+	op   Op
+	ok   bool
+	done bool
+}
+
+// Engine drives the per-core op streams against the executor.
 type Engine struct {
 	exec  Executor
 	cores int
 	seed  int64
 
-	mu      sync.Mutex
-	crashed bool
+	crashed atomic.Bool
+	// special is true when any per-op slow-path check is armed (crash
+	// happened, watchdog set, or crash scheduled); Step's fast path skips
+	// all three checks while it is false.
+	special bool
 
 	// Cycle-granular crash injection (ScheduleCrash).
 	crashAt     Cycle
@@ -151,7 +176,12 @@ type Engine struct {
 	watchdog      Cycle
 	watchdogFired bool
 
-	// Stats populated by Run.
+	// Cooperative scheduler state (Bind/Step).
+	streams []OpStream
+	slots   []slot
+	live    int
+
+	// Stats populated by the run.
 	coreTime  []Cycle
 	opsByKind [5]int64
 }
@@ -165,13 +195,17 @@ func NewEngine(exec Executor, cores int, seed int64) *Engine {
 	return &Engine{exec: exec, cores: cores, seed: seed, coreTime: make([]Cycle, cores)}
 }
 
-// Crash flags the machine as crashed; every program unwinds at its next
-// operation and Run returns. Safe to call from the executor (which runs on
-// the engine goroutine) or from a stop-condition callback.
+// Seed returns the engine seed (native stream builders derive per-core
+// random sources from it via CoreRand).
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Crash flags the machine as crashed; every stream receives the crash
+// sentinel at its next operation and the run ends. Safe to call from the
+// executor (which runs on the engine goroutine) or from a stop-condition
+// callback.
 func (e *Engine) Crash() {
-	e.mu.Lock()
-	e.crashed = true
-	e.mu.Unlock()
+	e.crashed.Store(true)
+	e.special = true
 }
 
 // ScheduleCrash arranges a power failure at the first scheduling point
@@ -184,6 +218,7 @@ func (e *Engine) Crash() {
 func (e *Engine) ScheduleCrash(c Cycle, inject func(now Cycle)) {
 	e.crashAt = c
 	e.crashInject = inject
+	e.special = true
 }
 
 // SetWatchdog arms a sim-cycle budget: when any core's local clock
@@ -191,18 +226,17 @@ func (e *Engine) ScheduleCrash(c Cycle, inject func(now Cycle)) {
 // a livelocked campaign (a commit protocol that never acks, a queue that
 // never drains) terminates deterministically instead of spinning its
 // host forever. Zero disables the watchdog.
-func (e *Engine) SetWatchdog(c Cycle) { e.watchdog = c }
+func (e *Engine) SetWatchdog(c Cycle) {
+	e.watchdog = c
+	e.special = c > 0 || e.crashInject != nil || e.crashed.Load()
+}
 
 // WatchdogFired reports whether the sim-cycle watchdog terminated the
 // run.
 func (e *Engine) WatchdogFired() bool { return e.watchdogFired }
 
 // Crashed reports whether a crash has been injected.
-func (e *Engine) Crashed() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.crashed
-}
+func (e *Engine) Crashed() bool { return e.crashed.Load() }
 
 // Now returns the maximum core-local time observed so far — the "wall
 // clock" of the simulation.
@@ -222,104 +256,140 @@ func (e *Engine) CoreTime(i int) Cycle { return e.coreTime[i] }
 // Ops returns the number of operations of kind k executed.
 func (e *Engine) Ops(k OpKind) int64 { return e.opsByKind[k] }
 
-// Run executes one Program per core to completion (or until a crash) and
-// returns the final simulated time. It may be called once per Engine.
-func (e *Engine) Run(programs []Program) Cycle {
-	if len(programs) != e.cores {
-		panic("sim: len(programs) must equal core count")
+// Bind arms the cooperative scheduler with one stream per core and
+// prefetches each stream's first operation. Streams run when Step is
+// called; most callers use RunStreams instead.
+func (e *Engine) Bind(streams []OpStream) {
+	if len(streams) != e.cores {
+		panic("sim: len(streams) must equal core count")
 	}
-	type slot struct {
-		pending *request
-		done    bool
+	e.streams = streams
+	e.slots = make([]slot, e.cores)
+	e.live = e.cores
+	for i := range e.slots {
+		e.fetch(i)
 	}
-	slots := make([]slot, e.cores)
-	reqCh := make([]chan request, e.cores)
-	doneCh := make(chan int, e.cores)
+}
 
-	for i := 0; i < e.cores; i++ {
-		reqCh[i] = make(chan request)
-		ctx := &Ctx{
-			core: i,
-			eng:  e,
-			req:  reqCh[i],
-			resp: make(chan Result, 1),
-			Rand: rand.New(rand.NewSource(e.seed + int64(i)*1_000_003)),
-		}
-		go func(i int, p Program, ctx *Ctx) {
-			defer func() {
-				if r := recover(); r != nil && r != ErrCrashed { //nolint:errorlint
-					panic(r)
-				}
-				doneCh <- i
-			}()
-			p(ctx)
-		}(i, programs[i], ctx)
+// fetch pulls core i's next operation into its slot, retiring the stream
+// when it is exhausted.
+func (e *Engine) fetch(i int) {
+	op, more := e.streams[i].Next()
+	if !more {
+		e.slots[i].done = true
+		e.live--
+		return
 	}
+	e.slots[i].op, e.slots[i].ok = op, true
+}
 
-	live := e.cores
-	for live > 0 {
-		// Gather a pending request (or completion) from every live core,
-		// so the min-time choice below is well defined. A done signal can
-		// arrive for any core while we wait on core i's channel.
-		for i := 0; i < e.cores; i++ {
-			for !slots[i].done && slots[i].pending == nil {
-				select {
-				case r := <-reqCh[i]:
-					slots[i].pending = &r
-				case c := <-doneCh:
-					slots[c].done = true
-					live--
-				}
-			}
-		}
-		if live == 0 {
-			break
-		}
-		// Pick the live core with the smallest local time.
-		best := -1
-		for i := range slots {
-			if slots[i].pending == nil {
-				continue
-			}
-			if best == -1 || e.coreTime[i] < e.coreTime[best] {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		req := slots[best].pending
-		slots[best].pending = nil
-
-		if e.Crashed() {
-			req.resp <- Result{Latency: -1}
+// Step makes one scheduling decision: it picks the live core with the
+// smallest local time and executes (or crash-unwinds) that one fetched
+// operation, then refetches that core's next op — every slot always
+// holds a pending op (prefetched by Bind), so the min-time choice stays
+// well defined with one stream pull per step. It returns false when
+// every stream is exhausted. The steady-state path performs no channel
+// operations and no heap allocations.
+func (e *Engine) Step() bool {
+	if e.live <= 0 {
+		return false
+	}
+	// Pick the live core with the smallest local time.
+	slots, coreTime := e.slots, e.coreTime
+	best := -1
+	var bt Cycle
+	for i := range slots {
+		if !slots[i].ok {
 			continue
 		}
-		if e.watchdog > 0 && e.coreTime[best] >= e.watchdog {
+		if best == -1 || coreTime[i] < bt {
+			best, bt = i, coreTime[i]
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	s := &slots[best]
+	s.ok = false
+
+	// Slow path: a crash happened, is scheduled, or a watchdog is armed.
+	// All three arming points set e.special, so the common op pays one
+	// branch here.
+	if e.special {
+		if e.crashed.Load() {
+			e.streams[best].Deliver(Result{Latency: -1})
+			e.fetch(best)
+			return true
+		}
+		if e.watchdog > 0 && bt >= e.watchdog {
 			e.watchdogFired = true
 			e.Crash()
-			req.resp <- Result{Latency: -1}
-			continue
+			e.streams[best].Deliver(Result{Latency: -1})
+			e.fetch(best)
+			return true
 		}
-		if e.crashInject != nil && e.coreTime[best] >= e.crashAt {
+		if e.crashInject != nil && bt >= e.crashAt {
 			inject := e.crashInject
 			e.crashInject = nil
-			inject(e.coreTime[best])
-			if !e.Crashed() {
+			inject(bt)
+			if !e.crashed.Load() {
 				e.Crash()
 			}
-			req.resp <- Result{Latency: -1}
-			continue
+			e.streams[best].Deliver(Result{Latency: -1})
+			e.fetch(best)
+			return true
 		}
-		res := e.exec.Exec(best, req.op, e.coreTime[best])
-		if res.Latency < 0 {
-			// Executor-injected crash: unwind without advancing time.
-			req.resp <- res
-			continue
+	}
+	res := e.exec.Exec(best, s.op, bt)
+	if res.Latency < 0 {
+		// Executor-injected crash: unwind without advancing time.
+		e.streams[best].Deliver(res)
+		e.fetch(best)
+		return true
+	}
+	e.opsByKind[s.op.Kind]++
+	coreTime[best] = bt + res.Latency
+	e.streams[best].Deliver(res)
+	e.fetch(best)
+	return true
+}
+
+// stopper is implemented by streams that need explicit teardown when the
+// engine unwinds without draining them (a panic escaping the executor,
+// e.g. an audit violation): coroutine transports resume-and-release their
+// suspended frame.
+type stopper interface{ Stop() }
+
+// release tears down still-suspended streams after an abnormal unwind.
+func (e *Engine) release() {
+	for i, s := range e.streams {
+		if st, ok := s.(stopper); ok && !e.slots[i].done {
+			st.Stop()
 		}
-		e.opsByKind[req.op.Kind]++
-		e.coreTime[best] += res.Latency
-		req.resp <- res
+	}
+}
+
+// RunStreams executes one OpStream per core to completion (or until a
+// crash) on the cooperative scheduler and returns the final simulated
+// time. It may be called once per Engine.
+func (e *Engine) RunStreams(streams []OpStream) Cycle {
+	e.Bind(streams)
+	defer e.release()
+	for e.Step() {
 	}
 	return e.Now()
+}
+
+// Run executes one Program per core through the legacy goroutine
+// compatibility shim (one goroutine and a channel handoff per program)
+// and returns the final simulated time. Scheduling decisions are made by
+// the same cooperative loop as RunStreams, so the two paths are
+// op-for-op equivalent; new code should build streams (NewProgramStream
+// or a native OpStream) and call RunStreams directly.
+func (e *Engine) Run(programs []Program) Cycle {
+	streams := make([]OpStream, len(programs))
+	for i, p := range programs {
+		streams[i] = NewGoroutineStream(i, CoreRand(e.seed, i), p)
+	}
+	return e.RunStreams(streams)
 }

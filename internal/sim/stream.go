@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"iter"
+	"math/rand"
+)
+
+// NewProgramStream runs a legacy Program as a pull-based OpStream on a
+// runtime coroutine (iter.Pull): the program's control flow is suspended
+// when it needs a result and resumed when the engine delivers it. Unlike
+// the goroutine shim, the handoff is a direct coroutine switch — no
+// channel operations, no scheduler round trip, and no heap allocations
+// per op — which is what makes control-flow-heavy workloads (tree
+// descents, chain walks) as cheap to drive as hand-written state
+// machines. This is the native port path for every workload whose op
+// sequence is data-dependent.
+//
+// Only loads actually suspend: a program can observe nothing from a
+// store, Tx marker, or compute op (Ctx discards those Results), so issue
+// queues them and control returns to the program immediately; the engine
+// drains the queue — in program order, one scheduling decision per op —
+// before the next coroutine switch. The op sequence and every rand draw
+// are identical to a suspend-per-op transport; only the point where a
+// crash unwinds the program frame moves later, which is unobservable
+// because an unwinding program has no further effects.
+func NewProgramStream(core int, rng *rand.Rand, p Program) OpStream {
+	s := &coroStream{}
+	ctx := &Ctx{core: core, issue: s.issue, Rand: rng}
+	s.next, s.stop = iter.Pull(func(yield func(Op) bool) {
+		s.yield = yield
+		defer func() {
+			if r := recover(); r != nil && r != ErrCrashed { //nolint:errorlint
+				panic(r)
+			}
+		}()
+		p(ctx)
+	})
+	return s
+}
+
+type coroStream struct {
+	next  func() (Op, bool)
+	stop  func()
+	yield func(Op) bool
+	res   Result
+
+	queue      []Op // non-load ops issued since the last suspension
+	head       int
+	pending    Op // load yielded while queued ops were still undelivered
+	hasPending bool
+	done       bool
+}
+
+// issue hands op to the engine. Loads suspend the program and return the
+// delivered result; everything else is queued and returns immediately
+// (the program cannot observe those results). A false yield means the
+// engine stopped pulling (Stop); a negative latency is the crash
+// sentinel. Both unwind the program through ErrCrashed, which the
+// coroutine body recovers.
+func (s *coroStream) issue(op Op) Result {
+	if s.done {
+		panic(ErrCrashed)
+	}
+	if op.Kind != OpLoad {
+		s.queue = append(s.queue, op)
+		return Result{}
+	}
+	if !s.yield(op) {
+		panic(ErrCrashed)
+	}
+	if s.res.Latency < 0 {
+		panic(ErrCrashed)
+	}
+	return s.res
+}
+
+// Next implements OpStream: queued ops drain first (program order), then
+// the program resumes until its next operation or completion.
+func (s *coroStream) Next() (Op, bool) {
+	for {
+		if s.head < len(s.queue) {
+			op := s.queue[s.head]
+			s.head++
+			return op, true
+		}
+		s.queue, s.head = s.queue[:0], 0
+		if s.hasPending {
+			s.hasPending = false
+			return s.pending, true
+		}
+		if s.done {
+			return Op{}, false
+		}
+		op, ok := s.next()
+		if !ok {
+			// The program returned; ops it issued after its last load
+			// are still in the queue — loop to drain them.
+			s.done = true
+			continue
+		}
+		if len(s.queue) > 0 {
+			// Ops queued before this load must execute first.
+			s.pending, s.hasPending = op, true
+			continue
+		}
+		return op, true
+	}
+}
+
+// Deliver implements OpStream. Load results are picked up by issue when
+// the program resumes; results of queued ops carry no information. The
+// crash sentinel releases the suspended frame and ends the stream.
+func (s *coroStream) Deliver(r Result) {
+	if r.Latency < 0 {
+		s.queue, s.head, s.hasPending = s.queue[:0], 0, false
+		s.done = true
+		s.stop() // unwind the frame wherever it is suspended
+		return
+	}
+	s.res = r
+}
+
+// Stop releases a still-suspended program frame (abnormal engine unwind).
+func (s *coroStream) Stop() { s.stop() }
+
+// NewGoroutineStream is the legacy compatibility shim: the program runs
+// on its own goroutine and each operation crosses an unbuffered channel
+// to the engine and a buffered channel back. It exists for callers not
+// yet ported to streams and as the reference transport the
+// determinism-equivalence tests compare the coroutine path against; new
+// code should use NewProgramStream.
+func NewGoroutineStream(core int, rng *rand.Rand, p Program) OpStream {
+	s := &goroutineStream{ops: make(chan Op), res: make(chan Result, 1)}
+	ctx := &Ctx{core: core, issue: s.issue, Rand: rng}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != ErrCrashed { //nolint:errorlint
+				panic(r)
+			}
+			close(s.ops)
+		}()
+		p(ctx)
+	}()
+	return s
+}
+
+type goroutineStream struct {
+	ops chan Op
+	res chan Result
+}
+
+func (s *goroutineStream) issue(op Op) Result {
+	s.ops <- op
+	r := <-s.res
+	if r.Latency < 0 {
+		panic(ErrCrashed)
+	}
+	return r
+}
+
+func (s *goroutineStream) Next() (Op, bool) {
+	op, ok := <-s.ops
+	return op, ok
+}
+
+func (s *goroutineStream) Deliver(r Result) { s.res <- r }
+
+// OpsStream is a native OpStream over a fixed operation sequence (trace
+// replay, generated schedules): a cursor over a slice, with no goroutine,
+// coroutine, or per-op allocation at all.
+type OpsStream struct {
+	ops []Op
+	i   int
+}
+
+// NewOpsStream returns a stream replaying ops in order.
+func NewOpsStream(ops []Op) *OpsStream { return &OpsStream{ops: ops} }
+
+// Next implements OpStream.
+func (s *OpsStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+// Deliver implements OpStream: results carry no data dependence for a
+// fixed sequence, except the crash sentinel, which ends the stream.
+func (s *OpsStream) Deliver(r Result) {
+	if r.Latency < 0 {
+		s.i = len(s.ops)
+	}
+}

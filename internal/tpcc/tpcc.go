@@ -290,3 +290,10 @@ func (t *TPCC) Program(core, txns int) sim.Program {
 		}
 	}
 }
+
+// Stream implements workload.Workload on the coroutine transport: the
+// five transaction profiles are deeply data-dependent (directory walks,
+// order-line scans), so the transaction loop keeps its program form.
+func (t *TPCC) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return sim.NewProgramStream(core, rng, t.Program(core, txns))
+}

@@ -178,6 +178,15 @@ func Read(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// Stream returns a native OpStream replaying core's operation stream —
+// a slice cursor with no program frame at all.
+func (t *Trace) Stream(core int) sim.OpStream {
+	if core < len(t.PerCore) {
+		return sim.NewOpsStream(t.PerCore[core])
+	}
+	return sim.NewOpsStream(nil)
+}
+
 // Program returns a sim.Program replaying core's operation stream.
 func (t *Trace) Program(core int) sim.Program {
 	var ops []sim.Op

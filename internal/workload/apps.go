@@ -76,6 +76,11 @@ func (w *YCSBWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *YCSBWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // TATPWL models the telecom benchmark's dominant transactions (Fig. 4):
 // a subscriber table of 64 B rows; 80 % reads (GET_SUBSCRIBER_DATA) and
 // 20 % location updates writing two words (UPDATE_LOCATION) — the very
@@ -133,6 +138,11 @@ func (w *TATPWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *TATPWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // BankWL models the banking benchmark (Fig. 4): random transfers between
 // two accounts — two balance reads, two balance writes and an audit-log
 // append per transaction.
@@ -186,4 +196,9 @@ func (w *BankWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload on the coroutine transport.
+func (w *BankWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
 }

@@ -62,6 +62,11 @@ func (w *BPtreeWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *BPtreeWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // LevelHashWL drives the two-level write-optimized hash with churn.
 type LevelHashWL struct {
 	TxShape
@@ -112,4 +117,9 @@ func (w *LevelHashWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload on the coroutine transport.
+func (w *LevelHashWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
 }

@@ -46,6 +46,108 @@ func (w *ArrayWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload as a hand-written state machine: the swap's
+// sixteen loads and sixteen stores are scheduled directly, with no
+// program frame at all. The op and random-draw order is identical to
+// Program's (TxBegin; per swap draw i then j, interleave L i_w/L j_w for
+// w=0..7, then S i_w/S j_w; TxEnd).
+func (w *ArrayWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return &arrayStream{arr: w.arrs[core], n: w.n, ops: w.OpsPerTx(), txns: txns, rng: rng}
+}
+
+const (
+	arrPhaseBegin = iota
+	arrPhaseLoad
+	arrPhaseStore
+	arrPhaseEnd
+)
+
+type arrayStream struct {
+	arr  *pmds.Array
+	n    int
+	ops  int // swaps per transaction
+	txns int
+	rng  *rand.Rand
+
+	i, j   int // transaction index, swap index within it
+	a, b   int // current swap's element indices
+	w      int // word index within the swap (0..ElemWords-1)
+	side   int // 0 = element a, 1 = element b
+	phase  int
+	ea, eb [pmds.ElemWords]mem.Word // loaded element contents
+	done   bool
+}
+
+func (s *arrayStream) Next() (sim.Op, bool) {
+	if s.done || s.i >= s.txns {
+		return sim.Op{}, false
+	}
+	switch s.phase {
+	case arrPhaseBegin:
+		return sim.Op{Kind: sim.OpTxBegin}, true
+	case arrPhaseLoad:
+		if s.side == 0 {
+			return sim.Op{Kind: sim.OpLoad, Addr: s.arr.Elem(s.a, s.w)}, true
+		}
+		return sim.Op{Kind: sim.OpLoad, Addr: s.arr.Elem(s.b, s.w)}, true
+	case arrPhaseStore:
+		if s.side == 0 {
+			return sim.Op{Kind: sim.OpStore, Addr: s.arr.Elem(s.a, s.w), Data: s.eb[s.w]}, true
+		}
+		return sim.Op{Kind: sim.OpStore, Addr: s.arr.Elem(s.b, s.w), Data: s.ea[s.w]}, true
+	default:
+		return sim.Op{Kind: sim.OpTxEnd}, true
+	}
+}
+
+func (s *arrayStream) Deliver(r sim.Result) {
+	if r.Latency < 0 {
+		s.done = true
+		return
+	}
+	switch s.phase {
+	case arrPhaseBegin:
+		s.startSwap()
+	case arrPhaseLoad:
+		if s.side == 0 {
+			s.ea[s.w] = r.Value
+			s.side = 1
+			return
+		}
+		s.eb[s.w] = r.Value
+		s.side = 0
+		if s.w++; s.w == pmds.ElemWords {
+			s.w, s.phase = 0, arrPhaseStore
+		}
+	case arrPhaseStore:
+		if s.side == 0 {
+			s.side = 1
+			return
+		}
+		s.side = 0
+		if s.w++; s.w < pmds.ElemWords {
+			return
+		}
+		if s.j++; s.j < s.ops {
+			s.startSwap()
+		} else {
+			s.phase = arrPhaseEnd
+		}
+	default: // TxEnd
+		s.i++
+		s.j = 0
+		s.phase = arrPhaseBegin
+	}
+}
+
+// startSwap draws the next swap's element pair (same order as Program)
+// and arms the load phase.
+func (s *arrayStream) startSwap() {
+	s.a = s.rng.Intn(s.n)
+	s.b = s.rng.Intn(s.n)
+	s.w, s.side, s.phase = 0, 0, arrPhaseLoad
+}
+
 // BtreeWL randomly inserts keys into a per-core B-tree.
 type BtreeWL struct {
 	TxShape
@@ -87,6 +189,12 @@ func (w *BtreeWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload natively: the tree's insert state machine
+// (pmds.BTree.InsertStream) drives the engine with no coroutine at all.
+func (w *BtreeWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return w.trees[core].InsertStream(rng, txns, w.OpsPerTx(), w.keyRange)
 }
 
 // HashWL randomly inserts key/value items into a per-core hash table.
@@ -131,6 +239,11 @@ func (w *HashWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *HashWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // QueueWL enqueues and dequeues one element per transaction.
 type QueueWL struct {
 	TxShape
@@ -172,6 +285,11 @@ func (w *QueueWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload on the coroutine transport.
+func (w *QueueWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
 }
 
 // RBtreeWL randomly inserts keys into a per-core red-black tree.
@@ -218,6 +336,11 @@ func (w *RBtreeWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *RBtreeWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // RtreeWL inserts into the PMDK-style radix tree (Fig. 4).
 type RtreeWL struct {
 	TxShape
@@ -259,6 +382,11 @@ func (w *RtreeWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *RtreeWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // CtrieWL inserts into the PMDK-style crit-bit trie (Fig. 4).
 type CtrieWL struct {
 	TxShape
@@ -298,4 +426,9 @@ func (w *CtrieWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload on the coroutine transport.
+func (w *CtrieWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
 }

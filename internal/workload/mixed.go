@@ -63,6 +63,11 @@ func (w *HashMixWL) Program(core, txns int) sim.Program {
 	}
 }
 
+// Stream implements Workload on the coroutine transport.
+func (w *HashMixWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
+}
+
 // RBtreeMixWL is insert/delete churn over the red-black tree: rotations
 // and recolorings run in both directions, scattering pointer writes.
 type RBtreeMixWL struct {
@@ -110,4 +115,9 @@ func (w *RBtreeMixWL) Program(core, txns int) sim.Program {
 			ctx.TxEnd()
 		}
 	}
+}
+
+// Stream implements Workload on the coroutine transport.
+func (w *RBtreeMixWL) Stream(core, txns int, rng *rand.Rand) sim.OpStream {
+	return coro(core, rng, w.Program(core, txns))
 }

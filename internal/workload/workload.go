@@ -21,14 +21,22 @@ import (
 )
 
 // Workload is one benchmark: Setup builds initial PM state through the
-// untimed direct accessor, then Program(core, txns) returns the
-// transaction loop each simulated core runs. SetOpsPerTx grows the
-// write set of every transaction by repeating the workload's operation —
-// the mechanism behind the Fig. 14 large-transaction sweep.
+// untimed direct accessor, then Stream(core, txns, rng) returns the
+// pull-based operation stream each simulated core runs on the
+// cooperative engine (Program is the same transaction loop in legacy
+// goroutine form, kept for the compatibility shim and the
+// determinism-equivalence tests). SetOpsPerTx grows the write set of
+// every transaction by repeating the workload's operation — the
+// mechanism behind the Fig. 14 large-transaction sweep.
+//
+// Both forms must issue the identical operation sequence and consume
+// the per-core random source in the identical order, so a run is
+// bit-for-bit reproducible no matter which scheduler drives it.
 type Workload interface {
 	Name() string
 	Setup(direct pmds.Accessor, heap *pmheap.Heap, cores int, rng *rand.Rand)
 	Program(core, txns int) sim.Program
+	Stream(core, txns int, rng *rand.Rand) sim.OpStream
 	SetOpsPerTx(n int)
 }
 
@@ -45,6 +53,14 @@ func (s *TxShape) OpsPerTx() int {
 		return 1
 	}
 	return s.ops
+}
+
+// coro runs a workload's transaction loop on the engine's coroutine
+// transport — the native port path for data-dependent structures (tree
+// descents, chain walks) whose next address depends on loaded values, so
+// the op sequence cannot be precomputed into a flat state machine.
+func coro(core int, rng *rand.Rand, p sim.Program) sim.OpStream {
+	return sim.NewProgramStream(core, rng, p)
 }
 
 // Direct returns an untimed accessor writing straight to the PM device —
