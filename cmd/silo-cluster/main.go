@@ -1,0 +1,341 @@
+// Command silo-cluster runs the simulated sharded PM key-value service:
+// N single-core Silo machines behind a consistent-hash router, a
+// deterministic network cost model (hop latency, timeouts, bounded
+// retries with seeded backoff, per-node queues with overload shedding),
+// Zipfian multi-tenant load, and cluster-scope fault injection — node
+// power failures with bounded-energy log flushes, recovery under load
+// while the router fails over, and crash storms. Every run verifies the
+// cluster-level golden shadow (acked writes survive, uncommitted writes
+// roll back) plus each node's machine-level golden shadow.
+//
+// Scenario mode (one explicit run, availability report):
+//
+//	silo-cluster -scenario steady
+//	silo-cluster -scenario rolling -nodes 4 -requests 4000
+//	silo-cluster -scenario diurnal -telemetry cluster.trace.json
+//
+// Sweep mode (resumable fleet; default):
+//
+//	silo-cluster -seed 1 -campaigns 1000 -out cluster.jsonl
+//	# ... SIGINT drains the fleet ...
+//	silo-cluster -seed 1 -campaigns 1000 -out cluster.jsonl -resume cluster.jsonl
+//
+// Exit codes: 0 clean; 1 durability violated (shadow divergence);
+// 2 configuration error; 3 infra-only failures; 130 interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"silo/internal/cluster"
+	"silo/internal/fault"
+	"silo/internal/harness"
+	"silo/internal/sim"
+	"silo/internal/stats"
+	"silo/internal/telemetry"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "run one explicit scenario instead of a sweep: steady, rolling, storm, diurnal")
+		seed     = flag.Int64("seed", 1, "deterministic seed for load, ring, and crash schedules")
+		design   = flag.String("design", "Silo", "logging design on every node")
+		nodes    = flag.Int("nodes", 4, "shard servers")
+		requests = flag.Int("requests", 2000, "client requests per run")
+		tenants  = flag.Int("tenants", 3, "independent client populations")
+		readPct  = flag.Int("reads", 60, "base read percentage of the load mix")
+		planStr  = flag.String("plan", "", "explicit cluster fault schedule (scenario mode), e.g. \"storm=1@200000;node=budget=256,tear=1\"")
+		telOut   = flag.String("telemetry", "", "write a Perfetto-loadable trace of the run to this file (scenario mode)")
+
+		campaigns = flag.Int("campaigns", 200, "sweep size (sweep mode)")
+		offset    = flag.Int("offset", 0, "first campaign index (repro campaign k alone: -offset k -campaigns 1)")
+		designs   = flag.String("designs", strings.Join(harness.DesignNames(), ","), "comma-separated designs for the sweep")
+		shrink    = flag.Bool("shrink", true, "shrink failing campaigns to minimal reproducers")
+		audit     = flag.Bool("audit", true, "runtime invariant auditor inside every node")
+		out       = flag.String("out", "", "append one JSON line per completed campaign to this file")
+		resume    = flag.String("resume", "", "JSONL file from a previous run; completed campaigns are not re-executed")
+		wall      = flag.Duration("wall", 2*time.Minute, "per-campaign wall-clock watchdog (0 disables)")
+		retries   = flag.Int("retries", 2, "retries for infra failures")
+		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *scenario != "" {
+		os.Exit(scenarioMode(*scenario, *seed, *design, *nodes, *requests, *tenants, *readPct, *planStr, *telOut))
+	}
+	os.Exit(sweepMode(sweepFlags{
+		seed: *seed, campaigns: *campaigns, offset: *offset,
+		designs: splitCSV(*designs), nodes: *nodes, requests: *requests,
+		shrink: *shrink, audit: *audit, out: *out, resume: *resume,
+		wall: *wall, retries: *retries, parallel: *parallel,
+	}))
+}
+
+// scenarioPlan derives each named scenario's crash schedule from the
+// cluster shape: rolling crashes every node once, staggered across the
+// load; storm takes two nodes down nearly together then re-crashes the
+// first; steady and diurnal are fault-free unless -plan adds one.
+func scenarioPlan(name string, cfg *cluster.Config) error {
+	horizon := cfg.LoadHorizon()
+	tmpl := fault.Plan{FlushBudget: 256, TearWords: true, RecrashEvery: 64, Seed: cfg.Seed}
+	switch name {
+	case "steady":
+	case "rolling":
+		var crashes []fault.NodeCrash
+		for n := 0; n < cfg.Nodes; n++ {
+			at := horizon * sim.Cycle(n+1) / sim.Cycle(cfg.Nodes+1)
+			crashes = append(crashes, fault.NodeCrash{Node: n, At: at})
+		}
+		cfg.Plan = &fault.ClusterPlan{Crashes: crashes, Node: tmpl}
+	case "storm":
+		cfg.Plan = &fault.ClusterPlan{
+			Crashes: []fault.NodeCrash{
+				{Node: 0, At: horizon / 3},
+				{Node: 1 % cfg.Nodes, At: horizon/3 + horizon/20},
+				{Node: 0, At: horizon * 3 / 4},
+			},
+			Node: tmpl,
+		}
+	case "diurnal":
+		cfg.DiurnalAmp = 0.6
+		cfg.DiurnalPeriod = cfg.LoadHorizon() / 2
+		// One crash at the first load peak, where failover hurts most.
+		cfg.Plan = &fault.ClusterPlan{
+			Crashes: []fault.NodeCrash{{Node: 0, At: cfg.LoadHorizon() / 4}},
+			Node:    tmpl,
+		}
+	default:
+		return fmt.Errorf("unknown scenario %q (steady, rolling, storm, diurnal)", name)
+	}
+	return nil
+}
+
+func scenarioMode(name string, seed int64, design string, nodes, requests, tenants, readPct int, planStr, telOut string) int {
+	cfg := cluster.Config{
+		Seed: seed, Design: design, Nodes: nodes, Requests: requests,
+		Tenants: tenants, ReadPercent: readPct,
+	}
+	if err := scenarioPlan(name, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+		return 2
+	}
+	if planStr != "" {
+		plan, err := fault.ParseClusterPlan(planStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+			return 2
+		}
+		cfg.Plan = &plan
+	}
+	var (
+		ct     *telemetry.ChromeTrace
+		traceF *os.File
+	)
+	if telOut != "" {
+		f, err := os.Create(telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+			return 2
+		}
+		traceF = f
+		ct = telemetry.NewChromeTrace(f)
+		cfg.Telemetry = telemetry.NewRecorder(ct)
+	}
+
+	res := cluster.Run(cfg)
+	if ct != nil {
+		if err := ct.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+		}
+		if err := traceF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+		}
+		fmt.Fprintf(os.Stderr, "silo-cluster: timeline written to %s (open at ui.perfetto.dev)\n", telOut)
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, "silo-cluster:", res.Err)
+		if res.Infra {
+			return 3
+		}
+		return 1
+	}
+	printReport(name, res)
+	if len(res.Divergences) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// us renders simulated cycles as microseconds at the 2 GHz model clock.
+func us(c sim.Cycle) float64 { return float64(c) / 2000 }
+
+func printReport(name string, res cluster.Result) {
+	fmt.Printf("scenario=%s design=%s nodes=%d\n", name, res.Design, res.Nodes)
+	fmt.Printf("  requests generated   %12d  (%d gets, %d puts)\n", res.Generated, res.Gets, res.Puts)
+	fmt.Printf("  acked                %12d  (%.2f%% available)\n", res.Acked, 100*res.Available())
+	fmt.Printf("  failed               %12d  (retry budget exhausted)\n", res.Failed)
+	fmt.Printf("  committed puts       %12d  (incl. committed-but-unacked)\n", res.CommittedPuts)
+	fmt.Printf("  simulated end        %12d  cycles (%.1f µs)\n", res.FinalCycle, us(res.FinalCycle))
+	fmt.Println("latency (acked requests):")
+	fmt.Printf("  p50                  %12d  cycles (%.1f µs)\n", res.Latency.Percentile(50), us(sim.Cycle(res.Latency.Percentile(50))))
+	fmt.Printf("  p99                  %12d  cycles (%.1f µs)\n", res.Latency.Percentile(99), us(sim.Cycle(res.Latency.Percentile(99))))
+	fmt.Printf("  max                  %12d  cycles (%.1f µs)\n", res.Latency.Max(), us(sim.Cycle(res.Latency.Max())))
+	fmt.Println("network:")
+	fmt.Printf("  timeouts             %12d\n", res.Timeouts)
+	fmt.Printf("  retries              %12d\n", res.Retries)
+	fmt.Printf("  shed (queue full)    %12d\n", res.Sheds)
+	fmt.Printf("  fast-fails (down)    %12d\n", res.FastFails)
+	fmt.Printf("  connection resets    %12d\n", res.Resets)
+	fmt.Printf("  late responses       %12d\n", res.Late)
+
+	if res.Crashes > 0 {
+		fmt.Printf("faults: %d node crashes, %d torn flush records, %d dropped, %d mid-recovery re-crashes\n",
+			res.Crashes, res.Torn, res.Dropped, res.RecoveryRestarts)
+		fmt.Printf("  recovery replayed %d records, %d redo + %d undo writes, %d tx\n",
+			res.Recovery.TotalRecords, res.Recovery.RedoApplied, res.Recovery.UndoApplied, res.Recovery.CommittedTx)
+		t := stats.NewTable("unavailability windows", "node", "down at", "serving again", "window (µs)", "commits elsewhere")
+		for _, w := range res.Windows {
+			serving := fmt.Sprintf("%d", w.ServingAt)
+			if !w.Closed {
+				serving = "(load ended)"
+			}
+			t.AddRow(fmt.Sprintf("%d", w.Node), fmt.Sprintf("%d", w.DownAt), serving,
+				fmt.Sprintf("%.1f", us(w.Width())), fmt.Sprintf("%d", w.CommitsElsewhere))
+		}
+		fmt.Print(t.String())
+	}
+
+	t := stats.NewTable("per-node", "node", "served", "commits", "crashes")
+	for i, n := range res.PerNode {
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", n.Served), fmt.Sprintf("%d", n.Commits), fmt.Sprintf("%d", n.Crashes))
+	}
+	fmt.Print(t.String())
+
+	if len(res.Divergences) > 0 {
+		fmt.Printf("cluster durability VIOLATED: %d divergences\n", len(res.Divergences))
+		for i, d := range res.Divergences {
+			if i == 10 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Println(" ", d)
+		}
+	} else {
+		fmt.Println("cluster durability HELD (acked writes survived; uncommitted writes rolled back)")
+	}
+}
+
+type sweepFlags struct {
+	seed            int64
+	campaigns       int
+	offset          int
+	designs         []string
+	nodes, requests int
+	shrink, audit   bool
+	out, resume     string
+	wall            time.Duration
+	retries         int
+	parallel        int
+}
+
+func sweepMode(f sweepFlags) int {
+	cfg := cluster.TortureConfig{
+		Seed:         f.seed,
+		Campaigns:    f.campaigns,
+		Offset:       f.offset,
+		Designs:      f.designs,
+		Nodes:        f.nodes,
+		Requests:     f.requests,
+		Shrink:       f.shrink,
+		DisableAudit: !f.audit,
+		Parallel:     f.parallel,
+	}
+	if f.wall == 0 {
+		cfg.WallBudget = -1
+	} else {
+		cfg.WallBudget = f.wall
+	}
+	if f.retries >= 0 {
+		cfg.Retries = f.retries
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = -1 // harness: <0 means no retries, 0 means default
+	}
+
+	if f.resume != "" {
+		rf, err := os.Open(f.resume)
+		if err != nil {
+			return fatal(err)
+		}
+		recs, err := harness.ReadRecords(rf)
+		rf.Close()
+		if err != nil {
+			return fatal(fmt.Errorf("reading %s: %w", f.resume, err))
+		}
+		cfg.Resume = recs
+		fmt.Fprintf(os.Stderr, "silo-cluster: resuming, %d campaigns already done\n", len(recs))
+	}
+	if f.out != "" {
+		of, err := os.OpenFile(f.out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fatal(err)
+		}
+		defer of.Close()
+		cfg.OnRecord = func(r harness.Record) {
+			if err := harness.WriteRecord(of, r); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-cluster: writing record:", err)
+			}
+		}
+	}
+
+	// First SIGINT drains the fleet; a second one exits immediately.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-cluster: draining (campaigns in flight will finish; interrupt again to abort)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-cluster: aborted")
+		os.Exit(130)
+	}()
+
+	res, err := cluster.Torture(cfg)
+	if err != nil {
+		return fatal(err)
+	}
+	fmt.Print(res.Summary())
+	switch {
+	case !res.Ok():
+		return 1
+	case res.Interrupted:
+		fmt.Fprintf(os.Stderr, "silo-cluster: interrupted; resume with the same command plus -resume %s\n", f.out)
+		return 130
+	case len(res.Infra) > 0:
+		return 3
+	}
+	return 0
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+	return 2
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

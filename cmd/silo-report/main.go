@@ -6,6 +6,14 @@
 // Usage:
 //
 //	silo-report -txns 1250 -o report.md
+//
+// With -torture it instead summarizes a torture/cluster sweep's JSONL
+// checkpoint stream (as written by silo-torture/silo-cluster -out). The
+// loader is strict: an empty stream or a corrupt record mid-file is a
+// clear error and a nonzero exit; only a torn final line — an
+// interrupted writer — is tolerated, and called out:
+//
+//	silo-report -torture sweep.jsonl
 package main
 
 import (
@@ -21,11 +29,16 @@ import (
 
 func main() {
 	var (
-		txns = flag.Int("txns", 600, "transactions per core (grid) / total (others)")
-		seed = flag.Int64("seed", 42, "simulation seed")
-		out  = flag.String("o", "", "output file (default stdout)")
+		txns    = flag.Int("txns", 600, "transactions per core (grid) / total (others)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		torture = flag.String("torture", "", "summarize this torture/cluster JSONL checkpoint stream instead of running the suite")
 	)
 	flag.Parse()
+
+	if *torture != "" {
+		os.Exit(tortureReport(*torture))
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -117,6 +130,29 @@ func main() {
 	table(harness.RecoverySweep("Silo", "Hash", 2, *txns, *seed, nil))
 
 	fmt.Fprintln(w, "\n---\nAll tables regenerated from live simulation; see EXPERIMENTS.md for the paper-vs-measured analysis.")
+}
+
+// tortureReport summarizes a JSONL checkpoint stream. Exit codes: 0 a
+// readable stream with zero durability failures; 1 failures on record,
+// or the stream is unreadable (missing, empty, or corrupt mid-file).
+func tortureReport(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-report:", err)
+		return 1
+	}
+	defer f.Close()
+	s, err := harness.LoadCheckpoint(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "silo-report: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Print(s.String())
+	fmt.Print(s.Table().String())
+	if len(s.Failures) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

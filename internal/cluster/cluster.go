@@ -1,0 +1,756 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silo/internal/core"
+	"silo/internal/fault"
+	"silo/internal/mem"
+	"silo/internal/recovery"
+	"silo/internal/sim"
+	"silo/internal/stats"
+	"silo/internal/telemetry"
+	"silo/internal/workload"
+)
+
+// Config parameterizes one cluster run. The zero value of any field is
+// replaced by the defaults below; a Config fully determines the run.
+type Config struct {
+	Seed   int64
+	Design string // logging design name (harness registry; default "Silo")
+
+	Nodes    int    // shard servers (default 4)
+	VNodes   int    // virtual ring points per node (default 16)
+	Requests int    // client requests to generate (default 2000)
+	Keys     uint64 // keyspace size (default 4096)
+
+	// Client load shape (see workload.KVLoadConfig).
+	Tenants       int
+	ReadPercent   int     // default 60
+	ZipfS         float64 // default 1.07
+	MeanGap       float64 // per-tenant mean inter-arrival, cycles (default 1200)
+	DiurnalPeriod sim.Cycle
+	DiurnalAmp    float64
+
+	// Network/RPC cost model. All times are simulated cycles (2 GHz:
+	// 2000 cycles = 1 µs).
+	HopLatency  sim.Cycle // one-way hop (default 2000)
+	HopJitter   sim.Cycle // uniform extra per hop (default 400)
+	Timeout     sim.Cycle // client attempt timeout (default 300_000)
+	Retries     int       // retries after the first attempt (default 3)
+	BackoffBase sim.Cycle // retry backoff base, doubling + jitter (default 20_000)
+	QueueCap    int       // per-node waiting-request bound (default 64)
+
+	// ServiceOverhead is the fixed per-request cost outside the machine
+	// execution — parse, dispatch, reply marshalling (default 600).
+	ServiceOverhead sim.Cycle
+
+	// Failure/recovery cost model.
+	DetectDelay      sim.Cycle // router failure-detection lag (default 30_000)
+	RebootDelay      sim.Cycle // power-on to replay start (default 50_000)
+	RecoverPerRecord sim.Cycle // replay cost per scanned log record (default 300)
+	RecoverPerWrite  sim.Cycle // replay cost per applied word (default 150)
+
+	// Plan is the cluster fault schedule (nil = fault-free).
+	Plan *fault.ClusterPlan
+
+	DisableAudit bool
+	Telemetry    *telemetry.Recorder
+
+	// MaxEvents bounds the event loop against harness bugs (0 → scaled
+	// to the request count). Exceeding it is an infra failure.
+	MaxEvents int64
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Design == "" {
+		cfg.Design = "Silo"
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 4
+	}
+	if cfg.VNodes < 1 {
+		cfg.VNodes = 16
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 2000
+	}
+	if cfg.Keys < 2 {
+		cfg.Keys = 4096
+	}
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 3
+	}
+	if cfg.ReadPercent == 0 {
+		cfg.ReadPercent = 60
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.07
+	}
+	if cfg.MeanGap == 0 {
+		cfg.MeanGap = 1200
+	}
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 2000
+	}
+	if cfg.HopJitter == 0 {
+		cfg.HopJitter = 400
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 300_000
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 20_000
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 64
+	}
+	if cfg.ServiceOverhead == 0 {
+		cfg.ServiceOverhead = 600
+	}
+	if cfg.DetectDelay == 0 {
+		cfg.DetectDelay = 30_000
+	}
+	if cfg.RebootDelay == 0 {
+		cfg.RebootDelay = 50_000
+	}
+	if cfg.RecoverPerRecord == 0 {
+		cfg.RecoverPerRecord = 300
+	}
+	if cfg.RecoverPerWrite == 0 {
+		cfg.RecoverPerWrite = 150
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 400*int64(cfg.Requests) + 100_000
+	}
+}
+
+// LoadHorizon estimates when request generation ends — the window fault
+// schedules should land inside.
+func (cfg Config) LoadHorizon() sim.Cycle {
+	c := cfg
+	c.defaults()
+	perTenant := float64(c.Requests) / float64(c.Tenants)
+	return sim.Cycle(perTenant * c.MeanGap)
+}
+
+// CrashWindow is one node crash's availability record.
+type CrashWindow struct {
+	Node   int
+	DownAt sim.Cycle
+	// ServingAt is when the recovered node completed its first request
+	// of the next incarnation; the window [DownAt, ServingAt] is the
+	// per-crash unavailability window. When load ended before the node
+	// served again, Closed is false and ServingAt clamps to FinalCycle.
+	ServingAt sim.Cycle
+	Closed    bool
+	// CommitsElsewhere counts transactions committed by surviving nodes
+	// inside the window — nonzero means the cluster kept serving.
+	CommitsElsewhere int64
+}
+
+// Width returns the window's length in cycles.
+func (w CrashWindow) Width() sim.Cycle { return w.ServingAt - w.DownAt }
+
+// NodeStats summarizes one node's run.
+type NodeStats struct {
+	Served  int64
+	Commits int64
+	Crashes int
+}
+
+// Result is everything one cluster run produced.
+type Result struct {
+	Design string
+	Nodes  int
+
+	Generated int64 // client requests created
+	Gets      int64
+	Puts      int64
+	Acked     int64 // requests acknowledged to the client
+	AckedPuts int64
+	Failed    int64 // requests exhausted their retry budget
+
+	CommittedPuts int64 // Tx_end completions across all nodes (incl. unacked and duplicates)
+
+	Timeouts  int64 // client attempt timeouts
+	Sheds     int64 // requests refused by a full node queue
+	FastFails int64 // router fast-fails to a node marked down
+	Resets    int64 // queued requests bounced by a node crash
+	Retries   int64 // attempts beyond the first
+	Late      int64 // responses arriving after the request was resolved
+
+	Latency stats.Histogram // acked-request client latency, cycles
+
+	Crashes          int
+	Windows          []CrashWindow
+	Recovery         recovery.Report // summed over all node recoveries
+	RecoveryRestarts int
+	Torn             int64
+	Dropped          int64
+
+	Divergences []string // cluster-shadow + per-node golden-shadow verdicts
+
+	PerNode    []NodeStats
+	FinalCycle sim.Cycle
+
+	Err   error
+	Infra bool // Err is a harness/resource failure, not a verdict
+}
+
+// Available reports the fraction of generated requests that were acked.
+func (r *Result) Available() float64 {
+	if r.Generated == 0 {
+		return 1
+	}
+	return float64(r.Acked) / float64(r.Generated)
+}
+
+// event kinds of the cluster DES.
+type evKind uint8
+
+const (
+	evArrive    evKind = iota // a tenant's next request materializes at the router
+	evRetry                   // a client re-sends after backoff
+	evNodeRecv                // a request reaches its shard server
+	evNodeDone                // the server finished executing a request
+	evResp                    // a response (or reset) reaches the client
+	evTimeout                 // a client attempt timer fires
+	evCrash                   // a scheduled node power failure
+	evRecovered               // a node finished reboot + replay
+	evHealthDown              // the router's failure detector marks a node down
+)
+
+// response kinds carried in evResp's arg.
+const (
+	respOK = iota
+	respShed
+	respUnavail
+	respReset
+)
+
+type request struct {
+	id        int64
+	tenant    int
+	key       uint64
+	read      bool
+	val       uint64 // put payload (globally unique write sequence)
+	node      int    // owner at last routing
+	attempt   int
+	firstSend sim.Cycle
+	done      bool
+	committed bool
+	loaded    uint64
+}
+
+type event struct {
+	at   sim.Cycle
+	seq  int64 // tie-break: events at equal time fire in schedule order
+	kind evKind
+	node int // node id, tenant id (evArrive), or -1
+	req  *request
+	arg  int
+}
+
+// eventQueue is a binary min-heap over (at, seq).
+type eventQueue []event
+
+func (q eventQueue) lessAt(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.lessAt(i, p) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	*q = h[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.lessAt(l, small) {
+			small = l
+		}
+		if r < n && q.lessAt(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// Cluster is the running simulation state.
+type Cluster struct {
+	cfg        Config
+	designOpts core.Options
+	layout     mem.Layout
+	ring       *Ring
+	load       *workload.KVLoad
+	nodes      []*node
+	health     []bool // router's availability view
+	shadow     *shadow
+	tel        *telemetry.Recorder
+
+	evq      eventQueue
+	seq      int64
+	rng      *rand.Rand // network + backoff jitter (deterministic use order)
+	writeSeq uint64
+
+	generated   int64
+	outstanding int64
+	tenantNext  []pendingArrival
+	released    []bool // per node: current machine already released
+
+	res Result
+}
+
+type pendingArrival struct {
+	read bool
+	key  uint64
+}
+
+// New builds a cluster simulation (nodes booted, faults and first
+// arrivals scheduled) without running it; Run is New + Drive.
+func New(cfg Config) (*Cluster, error) {
+	cfg.defaults()
+	c := &Cluster{
+		cfg:    cfg,
+		layout: mem.DefaultLayout(),
+		ring:   NewRing(cfg.Nodes, cfg.VNodes, cfg.Seed),
+		shadow: newShadow(),
+		tel:    cfg.Telemetry,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x636c7573746572)), // "cluster"
+	}
+	c.res.Design = cfg.Design
+	c.res.Nodes = cfg.Nodes
+	c.load = workload.NewKVLoad(workload.KVLoadConfig{
+		Seed:          cfg.Seed ^ 0x6c6f6164, // "load"
+		Tenants:       cfg.Tenants,
+		Keys:          cfg.Keys,
+		ZipfS:         cfg.ZipfS,
+		ReadPercent:   cfg.ReadPercent,
+		MeanGap:       cfg.MeanGap,
+		DiurnalPeriod: cfg.DiurnalPeriod,
+		DiurnalAmp:    cfg.DiurnalAmp,
+	})
+
+	// Per-node crash schedules from the plan.
+	crashTimes := make([][]sim.Cycle, cfg.Nodes)
+	if cfg.Plan != nil {
+		for _, nc := range cfg.Plan.Crashes {
+			if nc.Node < 0 || nc.Node >= cfg.Nodes {
+				continue
+			}
+			crashTimes[nc.Node] = append(crashTimes[nc.Node], nc.At)
+		}
+	}
+
+	c.health = make([]bool, cfg.Nodes)
+	c.released = make([]bool, cfg.Nodes)
+	for id := 0; id < cfg.Nodes; id++ {
+		n := &node{id: id, crashTimes: crashTimes[id]}
+		if len(n.crashTimes) > 0 {
+			n.pendingCrash = n.crashTimes[0]
+		}
+		if err := c.bootNode(n); err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.health[id] = true
+		c.tel.NodeState(id, 0, telemetry.NodeUp, 0)
+		for _, at := range n.crashTimes {
+			c.schedule(at, evCrash, id, nil, 0)
+		}
+	}
+
+	// First arrival per tenant.
+	c.tenantNext = make([]pendingArrival, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		at, read, key := c.load.Next(t, 0)
+		c.tenantNext[t] = pendingArrival{read: read, key: key}
+		c.schedule(at, evArrive, t, nil, 0)
+	}
+	return c, nil
+}
+
+// selfCrashNode is the node that arms the template plan's machine-level
+// self-crash trigger (the first scheduled crash victim, else node 0).
+func (c *Cluster) selfCrashNodeID() int {
+	if c.cfg.Plan != nil && len(c.cfg.Plan.Crashes) > 0 {
+		return c.cfg.Plan.Crashes[0].Node
+	}
+	return 0
+}
+
+// Run executes one cluster simulation to completion.
+func Run(cfg Config) Result {
+	c, err := New(cfg)
+	if err != nil {
+		return Result{Design: cfg.Design, Err: err}
+	}
+	return c.Drive()
+}
+
+// Drive pumps the event loop until the simulation drains (every request
+// resolved, every recovery finished) and returns the result.
+func (c *Cluster) Drive() Result {
+	defer c.releaseAll()
+	var processed int64
+	for len(c.evq) > 0 && c.res.Err == nil {
+		if processed++; processed > c.cfg.MaxEvents {
+			c.res.Err = fmt.Errorf("cluster: event budget exceeded (%d events; livelock?)", c.cfg.MaxEvents)
+			c.res.Infra = true
+			break
+		}
+		ev := c.evq.pop()
+		if ev.at > c.res.FinalCycle {
+			c.res.FinalCycle = ev.at
+		}
+		c.dispatch(ev)
+	}
+	c.finalize()
+	return c.res
+}
+
+func (c *Cluster) schedule(at sim.Cycle, kind evKind, node int, req *request, arg int) {
+	c.seq++
+	c.evq.push(event{at: at, seq: c.seq, kind: kind, node: node, req: req, arg: arg})
+}
+
+func (c *Cluster) fail(err error) {
+	if c.res.Err == nil {
+		c.res.Err = err
+		c.res.Infra = true
+	}
+}
+
+// hopDelay is one network hop: base latency plus uniform jitter.
+func (c *Cluster) hopDelay() sim.Cycle {
+	d := c.cfg.HopLatency
+	if c.cfg.HopJitter > 0 {
+		d += sim.Cycle(c.rng.Int63n(int64(c.cfg.HopJitter)))
+	}
+	return d
+}
+
+// backoff is the client retry delay before attempt `attempt` (>= 2):
+// exponential in the attempt number with uniform jitter of half a base.
+func (c *Cluster) backoff(attempt int) sim.Cycle {
+	d := c.cfg.BackoffBase << (attempt - 2)
+	if d > c.cfg.Timeout {
+		d = c.cfg.Timeout // cap so late retries don't overshoot the horizon
+	}
+	return d + sim.Cycle(c.rng.Int63n(int64(c.cfg.BackoffBase/2+1)))
+}
+
+func (c *Cluster) dispatch(ev event) {
+	switch ev.kind {
+	case evArrive:
+		c.onArrive(ev.node, ev.at)
+	case evRetry:
+		if ev.req.done {
+			return // resolved (a late ack) before the retry fired
+		}
+		c.route(ev.req, ev.at)
+	case evNodeRecv:
+		c.onNodeRecv(c.nodes[ev.node], ev.req, ev.arg, ev.at)
+	case evNodeDone:
+		c.onNodeDone(c.nodes[ev.node], ev.req, ev.arg, ev.at)
+	case evResp:
+		c.onResp(ev.req, ev.arg, ev.node, ev.at)
+	case evTimeout:
+		if ev.req.done || ev.arg != ev.req.attempt {
+			return
+		}
+		c.res.Timeouts++
+		c.retryOrFail(ev.req, ev.at)
+	case evCrash:
+		n := c.nodes[ev.node]
+		if n.state == nodeDown {
+			return // double strike while already down
+		}
+		c.crashNode(n, ev.at)
+	case evRecovered:
+		c.onRecovered(c.nodes[ev.node], ev.at)
+	case evHealthDown:
+		n := c.nodes[ev.node]
+		if n.state == nodeDown && n.crashes == ev.arg {
+			c.health[ev.node] = false
+		}
+	}
+}
+
+// onArrive materializes tenant t's pre-drawn request and draws the next.
+func (c *Cluster) onArrive(t int, now sim.Cycle) {
+	if c.generated >= int64(c.cfg.Requests) {
+		return
+	}
+	pa := c.tenantNext[t]
+	c.generated++
+	c.res.Generated++
+	req := &request{
+		id:        c.generated,
+		tenant:    t,
+		key:       pa.key,
+		read:      pa.read,
+		attempt:   1,
+		firstSend: now,
+	}
+	if req.read {
+		c.res.Gets++
+	} else {
+		c.writeSeq++
+		req.val = c.writeSeq
+		c.res.Puts++
+	}
+	c.outstanding++
+	c.route(req, now)
+	if c.generated < int64(c.cfg.Requests) {
+		at, read, key := c.load.Next(t, now)
+		c.tenantNext[t] = pendingArrival{read: read, key: key}
+		c.schedule(at, evArrive, t, nil, 0)
+	}
+}
+
+// route sends one attempt toward the key's owner, or fast-fails if the
+// router believes the owner is down.
+func (c *Cluster) route(req *request, now sim.Cycle) {
+	nodeID := c.ring.Owner(req.key)
+	req.node = nodeID
+	down := !c.health[nodeID]
+	c.tel.Route(nodeID, now, req.key, req.attempt, down)
+	if down {
+		c.res.FastFails++
+		c.schedule(now+c.hopDelay(), evResp, nodeID, req, respUnavail)
+		return
+	}
+	c.schedule(now+c.hopDelay(), evNodeRecv, nodeID, req, req.attempt)
+	c.schedule(now+c.cfg.Timeout, evTimeout, nodeID, req, req.attempt)
+}
+
+// onNodeRecv is a request arriving at its shard server.
+func (c *Cluster) onNodeRecv(n *node, req *request, attempt int, now sim.Cycle) {
+	if req.done || attempt != req.attempt {
+		return // superseded attempt; the packet evaporates
+	}
+	if n.state != nodeUp {
+		return // blackholed: down or wedged nodes don't answer; the client times out
+	}
+	if len(n.queue) >= c.cfg.QueueCap {
+		c.res.Sheds++
+		c.tel.NodeQueue(n.id, now, len(n.queue), c.cfg.QueueCap, true)
+		c.schedule(now+c.hopDelay(), evResp, n.id, req, respShed)
+		return
+	}
+	n.queue = append(n.queue, req)
+	c.tel.NodeQueue(n.id, now, len(n.queue), c.cfg.QueueCap, false)
+	if !n.busy {
+		c.startService(n, now)
+	}
+}
+
+// startService pops the queue head and executes it on the node machine.
+func (c *Cluster) startService(n *node, now sim.Cycle) {
+	if n.state != nodeUp || n.busy || len(n.queue) == 0 {
+		return
+	}
+	if n.pendingCrash > 0 && now >= n.pendingCrash {
+		// The power failure event is due this very cycle; don't start
+		// work the crash teardown would have to unwind.
+		n.state = nodeWedged
+		return
+	}
+	req := n.queue[0]
+	copy(n.queue, n.queue[1:])
+	n.queue = n.queue[:len(n.queue)-1]
+	n.busy = true
+	n.inflight = req
+	c.tel.NodeQueue(n.id, now, len(n.queue), c.cfg.QueueCap, false)
+
+	sr, err := c.runService(n, req, now)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	if sr.committed {
+		n.commits++
+		c.res.CommittedPuts++
+		req.committed = true
+		c.shadow.commitPut(req.key, req.val)
+		c.countCommitInWindows(n.id)
+	}
+	if req.read && !sr.crashed {
+		req.loaded = sr.loaded
+		c.shadow.checkGet(req.key, sr.loaded, n.id, now)
+	}
+	if sr.crashed {
+		// The machine lost power mid-request. If the cluster-scheduled
+		// crash fired, its evCrash event performs the teardown at the
+		// exact scheduled time; a machine-level self-trigger instead
+		// gets a teardown event at the machine's crash cycle.
+		tc := now + sr.dur - c.cfg.ServiceOverhead
+		n.state = nodeWedged
+		if !(n.pendingCrash > 0 && tc >= n.pendingCrash) {
+			c.schedule(tc, evCrash, n.id, nil, 0)
+		}
+		return
+	}
+	done := now + sr.dur
+	if n.pendingCrash > 0 && done >= n.pendingCrash {
+		// The request committed, but power fails before the response
+		// leaves the node: committed-but-unacked. The node wedges until
+		// its crash event; the client sees a timeout.
+		n.state = nodeWedged
+		return
+	}
+	c.schedule(done, evNodeDone, n.id, req, n.incarn)
+}
+
+// onNodeDone is the server finishing a request: send the response and
+// pull the next queued request.
+func (c *Cluster) onNodeDone(n *node, req *request, incarn int, now sim.Cycle) {
+	if n.incarn != incarn || n.state != nodeUp {
+		return // stale completion from a pre-crash incarnation
+	}
+	n.busy = false
+	n.inflight = nil
+	n.served++
+	if n.windowOpen {
+		w := &c.res.Windows[n.windowIdx]
+		w.ServingAt = now
+		w.Closed = true
+		n.windowOpen = false
+	}
+	c.schedule(now+c.hopDelay(), evResp, n.id, req, respOK)
+	if len(n.queue) > 0 {
+		c.startService(n, now)
+	}
+}
+
+// onResp is a response reaching the client.
+func (c *Cluster) onResp(req *request, kind, nodeID int, now sim.Cycle) {
+	if req.done {
+		c.res.Late++
+		return
+	}
+	switch kind {
+	case respOK:
+		req.done = true
+		c.outstanding--
+		c.res.Acked++
+		c.res.Latency.Observe(int64(now - req.firstSend))
+		if !req.read {
+			c.res.AckedPuts++
+			c.shadow.ackPut(req.key, req.val, nodeID, now)
+		}
+	case respShed, respUnavail, respReset:
+		if kind == respReset {
+			c.res.Resets++
+		}
+		c.retryOrFail(req, now)
+	}
+}
+
+// retryOrFail re-sends with backoff, or gives up once the retry budget
+// is spent.
+func (c *Cluster) retryOrFail(req *request, now sim.Cycle) {
+	if req.attempt > c.cfg.Retries {
+		req.done = true
+		c.outstanding--
+		c.res.Failed++
+		return
+	}
+	req.attempt++
+	c.res.Retries++
+	c.schedule(now+c.backoff(req.attempt), evRetry, -1, req, req.attempt)
+}
+
+// onRecovered brings the next incarnation of a node into service.
+func (c *Cluster) onRecovered(n *node, now sim.Cycle) {
+	n.incarn++
+	if err := c.bootNode(n); err != nil {
+		c.fail(err)
+		return
+	}
+	c.released[n.id] = false
+	n.state = nodeUp
+	for n.nextCrash < len(n.crashTimes) && n.crashTimes[n.nextCrash] <= now {
+		n.nextCrash++
+	}
+	n.pendingCrash = 0
+	if n.nextCrash < len(n.crashTimes) {
+		n.pendingCrash = n.crashTimes[n.nextCrash]
+	}
+	c.health[n.id] = true
+	c.tel.NodeState(n.id, now, telemetry.NodeUp, n.crashes)
+}
+
+// countCommitInWindows credits a commit on nodeID to every open crash
+// window of *other* nodes — the "surviving nodes keep serving" proof.
+func (c *Cluster) countCommitInWindows(nodeID int) {
+	for i := range c.res.Windows {
+		w := &c.res.Windows[i]
+		if !w.Closed && w.Node != nodeID {
+			w.CommitsElsewhere++
+		}
+	}
+}
+
+// finalize clamps open windows, snapshots per-node stats, and copies
+// the shadow verdicts into the result.
+func (c *Cluster) finalize() {
+	for i := range c.res.Windows {
+		if !c.res.Windows[i].Closed {
+			c.res.Windows[i].ServingAt = c.res.FinalCycle
+		}
+	}
+	for _, n := range c.nodes {
+		c.res.PerNode = append(c.res.PerNode, NodeStats{
+			Served: n.served, Commits: n.commits, Crashes: n.crashes,
+		})
+	}
+	c.res.Divergences = c.shadow.divergences
+	if c.res.Err == nil && c.outstanding != 0 {
+		// The event queue drained with live requests — a harness bug.
+		c.res.Err = fmt.Errorf("cluster: %d requests unresolved at drain", c.outstanding)
+		c.res.Infra = true
+	}
+}
+
+// releaseAll returns every live machine's pooled resources.
+func (c *Cluster) releaseAll() {
+	for _, n := range c.nodes {
+		if n.m != nil && !c.released[n.id] {
+			n.m.Release()
+			c.released[n.id] = true
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silo/internal/cache"
+	"silo/internal/fault"
+	"silo/internal/harness"
+	"silo/internal/machine"
+	"silo/internal/mem"
+	"silo/internal/pm"
+	"silo/internal/recovery"
+	"silo/internal/sim"
+	"silo/internal/telemetry"
+)
+
+// nodeState is one node's availability.
+type nodeState uint8
+
+const (
+	// nodeUp: serving requests.
+	nodeUp nodeState = iota
+	// nodeWedged: a scheduled crash lands inside or immediately after
+	// the current service run; the node stops serving and waits for its
+	// evCrash to perform the teardown. Responses in this gap are lost.
+	nodeWedged
+	// nodeDown: crashed; rebooting and replaying its log. Packets are
+	// blackholed until the router's failure detector marks it down.
+	nodeDown
+)
+
+// node is one shard server: a single-core Silo machine over a PM device
+// that survives the node's crashes, plus the queueing and incarnation
+// state around it.
+type node struct {
+	id    int
+	state nodeState
+
+	dev    *pm.Device
+	m      *machine.Machine
+	eng    *sim.Engine
+	incarn int
+
+	queue    []*request
+	busy     bool
+	inflight *request
+
+	// crashTimes is this node's slice of the cluster fault schedule
+	// (sorted); nextCrash indexes the first not-yet-fired entry.
+	// pendingCrash caches crashTimes[nextCrash] (0 = none pending) and
+	// is fixed for the lifetime of an incarnation.
+	crashTimes   []sim.Cycle
+	nextCrash    int
+	pendingCrash sim.Cycle
+
+	crashes int
+	served  int64
+	commits int64
+
+	// windowOpen tracks the unavailability window of the latest crash:
+	// opened at power failure, closed at the first successful service
+	// completion of the next incarnation.
+	windowOpen bool
+	windowIdx  int // index into Result.Windows
+}
+
+// machinePlan returns this node's machine-level fault plan: the cluster
+// template's crash *shape* (budget, tearing, strict draw, re-crash
+// cadence) for every node, with the self-crash trigger armed only on
+// the designated node's first incarnation (re-arming it every reboot
+// would thrash a node into a crash loop the plan never asked for).
+func (c *Cluster) machinePlan(id, incarn int) *fault.Plan {
+	if c.cfg.Plan == nil {
+		return nil
+	}
+	p := c.cfg.Plan.Node // copy
+	if id != c.selfCrashNodeID() || incarn > 0 {
+		p.Trigger = fault.TriggerNone
+	} else if p.Trigger == fault.TriggerCycle {
+		// Node machine clocks restart every reboot, so a node-local
+		// cycle trigger is ambiguous across incarnations; remap it to
+		// the op count the fault generator would have scaled it from.
+		p.Trigger = fault.TriggerOp
+		if p.AtOp = int64(p.AtCycle) / 40; p.AtOp < 1 {
+			p.AtOp = 1
+		}
+	}
+	p.Seed ^= int64(id) * 0x6a09e667f3bcc909
+	return &p
+}
+
+// bootNode builds node id's next machine incarnation. On first boot the
+// device is created fresh; on reboot the surviving device is power-
+// cycled and reused, so media contents (data and logs) carry across the
+// crash while caches and logging hardware come up cold.
+func (c *Cluster) bootNode(n *node) error {
+	factory, err := harness.DesignFactory(c.cfg.Design, c.designOpts)
+	if err != nil {
+		return err
+	}
+	cfg := machine.Config{
+		Cores:        1,
+		PM:           pm.DefaultConfig(),
+		Cache:        cache.DefaultHierarchyConfig(),
+		Design:       factory,
+		Fault:        c.machinePlan(n.id, n.incarn),
+		DisableAudit: c.cfg.DisableAudit,
+	}
+	if n.dev != nil {
+		n.dev.PowerCycle()
+		cfg.Device = n.dev
+	}
+	n.m = machine.New(cfg)
+	n.dev = n.m.Device()
+	n.eng = n.m.Engine(c.cfg.Seed ^ int64(n.id)*1_000_003 ^ int64(n.incarn)<<40)
+	n.busy = false
+	n.inflight = nil
+	n.queue = n.queue[:0]
+	return nil
+}
+
+// keyAddr maps a key to its PM word. The data region below the first
+// heap arena is unused by the KV nodes (they run no other workload), so
+// a flat 8-byte-per-key layout starting one page in is collision-free.
+func (c *Cluster) keyAddr(key uint64) mem.Addr {
+	return c.layout.DataBase + 4096 + mem.Addr(key*8)
+}
+
+// reqStream is the op stream one request executes on the node machine:
+// [TxBegin, Store, TxEnd] for a Put, [Load] for a Get. It records the
+// loaded word and whether the crash sentinel unwound it.
+type reqStream struct {
+	ops     []sim.Op
+	i       int
+	crashed bool
+	loaded  uint64
+}
+
+func (s *reqStream) Next() (sim.Op, bool) {
+	if s.crashed || s.i >= len(s.ops) {
+		return sim.Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+func (s *reqStream) Deliver(r sim.Result) {
+	if r.Latency < 0 {
+		s.crashed = true
+		return
+	}
+	if s.i > 0 && s.ops[s.i-1].Kind == sim.OpLoad {
+		s.loaded = uint64(r.Value)
+	}
+}
+
+// serviceResult is what one machine execution of a request produced.
+type serviceResult struct {
+	dur       sim.Cycle // machine busy time including fixed overhead
+	crashed   bool      // the machine lost power during the run
+	committed bool      // the Put's Tx_end completed (commit is durable)
+	loaded    uint64    // the Get's value
+}
+
+// runService executes req on node n's machine starting at cluster time
+// now. If a cluster-scheduled crash is pending for this incarnation,
+// the engine is armed so the power failure lands mid-run at the exact
+// mapped machine cycle — the machine clock only advances while serving,
+// so the mapping is (pending − now) cycles ahead of the current core
+// time, re-armed at every service start.
+func (c *Cluster) runService(n *node, req *request, now sim.Cycle) (serviceResult, error) {
+	var res serviceResult
+	addr := c.keyAddr(req.key)
+	st := &reqStream{}
+	if req.read {
+		st.ops = []sim.Op{{Kind: sim.OpLoad, Addr: addr}}
+	} else {
+		st.ops = []sim.Op{
+			{Kind: sim.OpTxBegin},
+			{Kind: sim.OpStore, Addr: addr, Data: mem.Word(req.val)},
+			{Kind: sim.OpTxEnd},
+		}
+	}
+	t0 := n.eng.CoreTime(0)
+	if n.pendingCrash > 0 && n.pendingCrash > now {
+		n.eng.ScheduleCrash(t0+(n.pendingCrash-now), n.m.InjectCrash)
+	}
+	commitsBefore := n.m.Commits()
+	n.eng.Bind([]sim.OpStream{st})
+	for steps := 0; n.eng.Step(); steps++ {
+		if steps > serviceStepBudget {
+			return res, fmt.Errorf("cluster: node %d wedged serving request %d (step budget)", n.id, req.id)
+		}
+	}
+	res.dur = n.eng.CoreTime(0) - t0 + c.cfg.ServiceOverhead
+	res.crashed = st.crashed
+	res.committed = n.m.Commits() > commitsBefore
+	res.loaded = st.loaded
+	return res, nil
+}
+
+const serviceStepBudget = 1 << 16
+
+// crashNode performs the power-failure teardown of node n at cluster
+// time now: battery flush (if the machine hasn't already crashed
+// itself), queue drain with connection resets, optional log-media bit
+// flips, recovery replay — re-crashed every RecrashEvery applied words
+// per the plan, with a doubling battery so it terminates — then both
+// correctness verdicts (machine golden shadow and cluster shadow), log
+// truncation, and scheduling of the reboot completion.
+func (c *Cluster) crashNode(n *node, now sim.Cycle) {
+	if n.state == nodeDown {
+		return
+	}
+	if !n.m.Crashed() {
+		n.m.InjectCrash(n.eng.Now())
+	}
+	n.state = nodeDown
+	n.crashes++
+	c.res.Crashes++
+	c.tel.NodeState(n.id, now, telemetry.NodeDown, n.crashes)
+
+	// The unavailability window opens now; commits on surviving nodes
+	// during it prove the cluster kept serving.
+	n.windowOpen = true
+	n.windowIdx = len(c.res.Windows)
+	c.res.Windows = append(c.res.Windows, CrashWindow{Node: n.id, DownAt: now})
+
+	// Queued requests get connection resets (fast client failure); the
+	// in-flight one, if any, is simply lost — its client times out.
+	for _, qr := range n.queue {
+		c.schedule(now+c.hopDelay(), evResp, n.id, qr, respReset)
+	}
+	n.queue = n.queue[:0]
+	n.inflight = nil
+	n.busy = false
+	c.tel.NodeQueue(n.id, now, 0, c.cfg.QueueCap, false)
+
+	region := n.m.Region()
+	c.res.Torn += region.CrashImagesTorn
+	c.res.Dropped += region.CrashImagesDropped
+
+	plan := c.machinePlan(n.id, n.incarn)
+	if plan != nil && plan.BitFlips > 0 {
+		rng := rand.New(rand.NewSource(plan.Seed ^ int64(n.incarn)))
+		fault.FlipLogBits(n.dev, region, rng, plan.BitFlips)
+	}
+
+	// Recovery replay. It runs synchronously here (host time) but is
+	// billed in simulated time below; probes are stamped at the replay
+	// start so Perfetto shows recovery progress inside the window.
+	recoverStart := now + c.cfg.RebootDelay
+	c.tel.NodeState(n.id, recoverStart, telemetry.NodeRecovering, n.crashes)
+	var rep recovery.Report
+	restarts := 0
+	if plan != nil && plan.RecrashEvery > 0 {
+		limit := plan.RecrashEvery
+		for {
+			rep = recovery.RecoverOpts(n.dev, region, recovery.Options{
+				MaxWrites: limit, Telemetry: c.tel, Now: recoverStart,
+			})
+			if rep.Complete {
+				break
+			}
+			restarts++
+			limit *= 2
+		}
+	} else {
+		rep = recovery.RecoverOpts(n.dev, region, recovery.Options{Telemetry: c.tel, Now: recoverStart})
+	}
+	c.res.RecoveryRestarts += restarts
+	c.res.Recovery.CommittedTx += rep.CommittedTx
+	c.res.Recovery.RedoApplied += rep.RedoApplied
+	c.res.Recovery.UndoApplied += rep.UndoApplied
+	c.res.Recovery.Discarded += rep.Discarded
+	c.res.Recovery.Quarantined += rep.Quarantined
+	c.res.Recovery.TotalRecords += rep.TotalRecords
+	c.res.Recovery.AppliedWrites += rep.AppliedWrites
+
+	// Verdict 1: the machine's own golden committed shadow, word for
+	// word over everything any transaction wrote on this incarnation.
+	for _, bad := range harness.VerifyRecovery(n.m) {
+		c.shadow.diverge("node %d incarnation %d: %s", n.id, n.incarn, bad)
+	}
+	// Verdict 2: the cluster shadow over every committed key this node
+	// owns — catches cross-incarnation loss the per-incarnation machine
+	// shadow cannot see, and proves uncommitted Puts rolled back.
+	c.shadow.checkRecovered(n.id, c.ring.Owner, func(key uint64) uint64 {
+		return uint64(n.dev.PeekWord(c.keyAddr(key)))
+	}, now)
+
+	// Invalidate the replayed logs before the next incarnation: the new
+	// region writer restarts sequence numbers at zero, and a stale
+	// longer log surviving behind it would alias a future crash scan.
+	for t := 0; t < region.Threads(); t++ {
+		region.Truncate(t)
+	}
+
+	// The node machine is done; release its pooled cache arrays.
+	n.m.Release()
+	c.released[n.id] = true
+
+	// Reboot + replay cost in simulated time, then back in service.
+	cost := c.cfg.RebootDelay +
+		c.cfg.RecoverPerRecord*sim.Cycle(rep.TotalRecords) +
+		c.cfg.RecoverPerWrite*sim.Cycle(rep.AppliedWrites)
+	if restarts > 0 {
+		cost += c.cfg.RebootDelay * sim.Cycle(restarts)
+	}
+	c.schedule(now+cost, evRecovered, n.id, nil, n.incarn)
+
+	// The router notices the failure only after its detection lag;
+	// until then requests are blackholed and clients burn a timeout.
+	c.schedule(now+c.cfg.DetectDelay, evHealthDown, n.id, nil, n.crashes)
+}

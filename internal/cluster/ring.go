@@ -1,0 +1,109 @@
+// Package cluster composes N simulated Silo machines into a sharded
+// persistent-memory key-value service: consistent-hash shard routing, a
+// deterministic network/RPC cost model (hop latency, timeouts, bounded
+// retries with seeded-jitter backoff, bounded per-node queues with
+// overload shedding), Zipfian multi-tenant client load, and a cluster-
+// scope fault layer — node crashes with the bounded-energy battery
+// flush, recovery-under-load log replay while the router fails over,
+// and multi-node crash storms.
+//
+// The whole cluster is one single-goroutine discrete-event simulation:
+// given a Config it produces the identical event sequence, ack
+// sequence, and Result on every run, which is what lets cluster
+// campaigns ride the torture fleet's checkpoint/resume and shrinking
+// machinery unchanged.
+//
+// Correctness is judged two ways at once: every node machine keeps its
+// own golden committed shadow (verified word-for-word after each
+// crash's recovery, with the per-node audit invariants live during
+// execution), and the cluster keeps a service-level shadow tracking,
+// per key, the last transaction that *committed* on the owning node —
+// distinguishing acked writes (the client saw success; they must
+// survive) from committed-but-unacked writes (the crash ate the
+// response; the value legally surfaces after failover).
+package cluster
+
+// Ring is a consistent-hash ring mapping keys to nodes: each node
+// projects vnodes virtual points onto the 64-bit ring and a key belongs
+// to the first point clockwise of its hash. Placement is a pure
+// function of (nodes, vnodes, seed): every run, resume, and reproducer
+// sees identical shard ownership.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	h    uint64
+	node int
+}
+
+// NewRing builds a ring of `nodes` nodes with `vnodes` virtual points
+// each (minimums 1 and 1).
+func NewRing(nodes, vnodes int, seed int64) *Ring {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{nodes: nodes}
+	r.points = make([]ringPoint, 0, nodes*vnodes)
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			h := splitmix64(uint64(seed) ^ uint64(n)<<32 ^ uint64(v)*0x9e3779b97f4a7c15)
+			r.points = append(r.points, ringPoint{h: h, node: n})
+		}
+	}
+	// Insertion sort keeps this dependency-free and deterministic; the
+	// point count is small (nodes × vnodes).
+	for i := 1; i < len(r.points); i++ {
+		for j := i; j > 0 && less(r.points[j], r.points[j-1]); j-- {
+			r.points[j], r.points[j-1] = r.points[j-1], r.points[j]
+		}
+	}
+	return r
+}
+
+// less orders points by hash, breaking exact collisions by node so the
+// sort (and therefore ownership) is total.
+func less(a, b ringPoint) bool {
+	if a.h != b.h {
+		return a.h < b.h
+	}
+	return a.node < b.node
+}
+
+// Owner returns the node owning key: the first ring point at or
+// clockwise of the key's hash.
+func (r *Ring) Owner(key uint64) int {
+	h := splitmix64(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.points[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap
+	}
+	return r.points[lo].node
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"silo/internal/fault"
+	"silo/internal/harness"
+	"silo/internal/sim"
+)
+
+// Scenario derives the fully-determined cluster run for one torture
+// campaign. The mapping rides the generic campaign fields so the
+// fleet's shrinker keeps working unchanged: Spec.Cores is the node
+// count (dropping cores → fewer nodes), Spec.Txns the request count
+// (bisecting txns → shorter load), and Spec.Seed everything else — the
+// ring, the load mix, the crash schedule. c.Plan becomes the per-crash
+// template (budget, tearing, re-crash cadence, optional self-trigger).
+func Scenario(c harness.Campaign) Config {
+	cfg := Config{
+		Seed:     c.Spec.Seed,
+		Design:   c.Spec.Design,
+		Nodes:    c.Spec.Cores,
+		Requests: c.Spec.Txns,
+		// Cluster campaigns are small enough that per-request audit and
+		// telemetry stay affordable; audit follows the spec flag.
+		DisableAudit: c.Spec.DisableAudit,
+		Telemetry:    c.Spec.Telemetry,
+	}
+	rng := rand.New(rand.NewSource(c.Spec.Seed ^ 0x736361747465)) // "scatte[r]"
+	cfg.Keys = 256 << rng.Intn(3)                                 // 256–1024: enough collisions to matter
+	cfg.Tenants = 1 + rng.Intn(4)
+	cfg.ReadPercent = 30 + rng.Intn(60)
+	cfg.ZipfS = 1.01 + rng.Float64()*0.4
+	cfg.MeanGap = 600 + float64(rng.Intn(1400))
+	if rng.Intn(2) == 0 {
+		cfg.DiurnalAmp = 0.3 + rng.Float64()*0.5
+		cfg.DiurnalPeriod = cfg.LoadHorizon() / sim.Cycle(1+rng.Intn(3))
+	}
+	plan := fault.RandomCluster(rng, cfg.Nodes, cfg.LoadHorizon(), c.Plan)
+	cfg.Plan = &plan
+	return cfg
+}
+
+// RunCampaign executes one cluster campaign and maps its Result onto
+// the fleet's generic outcome: cluster-shadow divergences and per-node
+// golden-shadow mismatches land in Mismatches (a durability verdict),
+// event-budget and drain failures land in Err as infra.
+func RunCampaign(c harness.Campaign) harness.CampaignOutcome {
+	out := harness.CampaignOutcome{Campaign: c}
+	res := Run(Scenario(c))
+	if res.Err != nil {
+		if res.Infra {
+			out.Err = harness.InfraError{Err: res.Err}
+		} else {
+			out.Err = res.Err
+		}
+		return out
+	}
+	out.MidRun = res.Crashes > 0
+	out.Commits = res.CommittedPuts
+	out.Torn = res.Torn
+	out.Dropped = res.Dropped
+	out.Restarts = res.RecoveryRestarts
+	out.Report = res.Recovery
+	out.Report.Complete = true
+	out.Mismatches = res.Divergences
+	return out
+}
+
+// TortureConfig parameterizes a cluster campaign sweep. It is a thin
+// projection onto harness.TortureConfig: the fleet supplies panic
+// containment, watchdogs, seeded-backoff infra retries, JSONL
+// checkpoint/resume, and shrinking; this package supplies the campaign
+// executor.
+type TortureConfig struct {
+	Seed      int64
+	Campaigns int
+	Offset    int
+	Designs   []string // default harness.DesignNames()
+	Nodes     int      // nodes per campaign (default 4)
+	Requests  int      // client requests per campaign (default 400)
+
+	AllowStrict   bool
+	AllowBitFlips bool
+	Shrink        bool
+	Parallel      int
+	DisableAudit  bool
+
+	WallBudget time.Duration
+	Retries    int
+	Backoff    time.Duration
+
+	Resume   map[int]harness.Record
+	OnRecord func(harness.Record)
+	Stop     <-chan struct{}
+}
+
+// Torture runs the cluster campaign sweep on the hardened fleet.
+func Torture(cfg TortureConfig) (harness.TortureResult, error) {
+	h := harness.TortureConfig{
+		Seed:      cfg.Seed,
+		Campaigns: cfg.Campaigns,
+		Offset:    cfg.Offset,
+		Designs:   cfg.Designs,
+		// The workload name is cosmetic at cluster scope (Scenario
+		// derives the real load from the seed) but keeps records and
+		// repro lines self-describing.
+		Workloads:     []string{"ClusterKV"},
+		Cores:         cfg.Nodes,
+		Txns:          cfg.Requests,
+		AllowStrict:   cfg.AllowStrict,
+		AllowBitFlips: cfg.AllowBitFlips,
+		Shrink:        cfg.Shrink,
+		Parallel:      cfg.Parallel,
+		DisableAudit:  cfg.DisableAudit,
+		WallBudget:    cfg.WallBudget,
+		Retries:       cfg.Retries,
+		Backoff:       cfg.Backoff,
+		Resume:        cfg.Resume,
+		OnRecord:      cfg.OnRecord,
+		Stop:          cfg.Stop,
+		Run:           RunCampaign,
+	}
+	if h.Cores <= 0 {
+		h.Cores = 4
+	}
+	if h.Txns <= 0 {
+		h.Txns = 400
+	}
+	if len(h.Designs) == 0 {
+		h.Designs = harness.DesignNames()
+	}
+	return harness.Torture(h)
+}
+
+// ReproArgs renders the silo-cluster flags that replay campaign idx of
+// a sweep alone.
+func ReproArgs(seed int64, idx int, nodes, requests int) string {
+	return fmt.Sprintf("go run ./cmd/silo-cluster -campaigns 1 -offset %d -seed %d -nodes %d -requests %d",
+		idx, seed, nodes, requests)
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"silo/internal/harness"
+)
+
+// Scenario must be a pure function of the campaign: the fleet's resume
+// and shrink machinery both depend on re-deriving the identical run.
+func TestScenarioDeterministic(t *testing.T) {
+	base := harness.TortureConfig{Seed: 5, Campaigns: 8, Cores: 3, Txns: 200,
+		Workloads: []string{"ClusterKV"}}
+	for i := 0; i < 8; i++ {
+		c := harness.MakeCampaign(base, i)
+		a, b := Scenario(c), Scenario(c)
+		pa, pb := a.Plan, b.Plan
+		a.Plan, b.Plan = nil, nil
+		if a != b {
+			t.Fatalf("campaign %d: configs differ:\n%+v\n%+v", i, a, b)
+		}
+		if pa.String() != pb.String() {
+			t.Fatalf("campaign %d: plans differ: %s vs %s", i, pa, pb)
+		}
+		if a.Nodes != 3 || a.Requests != 200 {
+			t.Fatalf("campaign %d: spec shape not honored: %+v", i, a)
+		}
+	}
+}
+
+// A small sweep on the hardened fleet: every campaign must verify clean
+// (zero divergences across both verdicts), with real crashes happening.
+func TestClusterTortureSweep(t *testing.T) {
+	res, err := Torture(TortureConfig{
+		Seed: 77, Campaigns: 12, Nodes: 3, Requests: 150, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Infra) != 0 {
+		t.Fatalf("infra failures: %s", res.Summary())
+	}
+	if !res.Ok() {
+		t.Fatalf("sweep failed:\n%s", res.Summary())
+	}
+	if res.MidRunCrashes == 0 {
+		t.Fatal("no campaign crashed a node; the sweep proved nothing")
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits across the sweep")
+	}
+}
+
+// An interrupted cluster sweep resumed from its JSONL checkpoint must
+// finish with the byte-identical stream of an uninterrupted run.
+func TestClusterSweepResumeByteIdentical(t *testing.T) {
+	base := TortureConfig{Seed: 31, Campaigns: 6, Nodes: 3, Requests: 120, Parallel: 1}
+
+	runSweep := func(stopAfter int, buf *bytes.Buffer, resume map[int]harness.Record) harness.TortureResult {
+		cfg := base
+		cfg.Resume = resume
+		var stop chan struct{}
+		n := 0
+		if stopAfter > 0 {
+			stop = make(chan struct{})
+			cfg.Stop = stop
+		}
+		cfg.OnRecord = func(r harness.Record) {
+			if err := harness.WriteRecord(buf, r); err != nil {
+				t.Fatal(err)
+			}
+			if n++; stopAfter > 0 && n == stopAfter {
+				close(stop)
+			}
+		}
+		res, err := Torture(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var baseline bytes.Buffer
+	full := runSweep(0, &baseline, nil)
+	if !full.Ok() || len(full.Infra) != 0 {
+		t.Fatalf("baseline sweep unclean:\n%s", full.Summary())
+	}
+
+	var interrupted bytes.Buffer
+	part := runSweep(2, &interrupted, nil)
+	if !part.Interrupted {
+		t.Fatal("stop did not interrupt the sweep")
+	}
+	recs, err := harness.ReadRecords(bytes.NewReader(interrupted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("partial stream has %d records, want 2", len(recs))
+	}
+	resumed := runSweep(0, &interrupted, recs)
+	if resumed.Interrupted {
+		t.Fatal("resumed sweep still interrupted")
+	}
+	if !bytes.Equal(interrupted.Bytes(), baseline.Bytes()) {
+		t.Errorf("resumed stream differs from baseline:\n%s\nvs\n%s",
+			interrupted.Bytes(), baseline.Bytes())
+	}
+	if full.Summary() != resumed.Summary() {
+		t.Errorf("summaries differ:\n%s\nvs\n%s", full.Summary(), resumed.Summary())
+	}
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"silo/internal/sim"
+)
+
+// NodeCrash schedules one node's power failure at a cluster-time cycle.
+type NodeCrash struct {
+	Node int
+	At   sim.Cycle
+}
+
+// ClusterPlan extends a Plan to cluster scope: a schedule of node power
+// failures in cluster time, plus a per-node crash template shaping what
+// each crash looks like (battery flush budget, tearing, strict draw,
+// media bit flips, mid-recovery re-crashes). Like Plan it is pure data:
+// a failing cluster schedule replays from its parameters alone.
+//
+// The template's Trigger is a node-local self-crash: at most one node
+// (the first in the schedule, or node 0 when the schedule is empty)
+// arms it inside its machine, so op-count and commit-window triggers
+// keep firing at machine scope while the schedule fires at cluster
+// scope. TriggerCycle is remapped to TriggerOp by the consumer — node
+// machine clocks restart at every reboot, so a node-local cycle trigger
+// is ambiguous across incarnations.
+type ClusterPlan struct {
+	Crashes []NodeCrash
+	Node    Plan
+}
+
+// Active reports whether any node crash is scheduled or the template
+// self-crashes.
+func (p *ClusterPlan) Active() bool {
+	return p != nil && (len(p.Crashes) > 0 || p.Node.Active())
+}
+
+// String renders the plan as the form ParseClusterPlan accepts:
+// "storm=<node>@<cycle>+... ;node=<plan>" with an empty schedule
+// rendered as "storm=none".
+func (p ClusterPlan) String() string {
+	var b strings.Builder
+	b.WriteString("storm=")
+	if len(p.Crashes) == 0 {
+		b.WriteString("none")
+	} else {
+		for i, c := range p.Crashes {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%d@%d", c.Node, c.At)
+		}
+	}
+	b.WriteString(";node=")
+	b.WriteString(p.Node.String())
+	return b.String()
+}
+
+// ParseClusterPlan is the inverse of ClusterPlan.String.
+func ParseClusterPlan(s string) (ClusterPlan, error) {
+	var p ClusterPlan
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return p, fmt.Errorf("fault: bad cluster plan field %q", part)
+		}
+		switch k {
+		case "storm":
+			if v == "none" {
+				continue
+			}
+			for _, cs := range strings.Split(v, "+") {
+				ns, as, ok := strings.Cut(cs, "@")
+				if !ok {
+					return p, fmt.Errorf("fault: bad node crash %q", cs)
+				}
+				node, err := strconv.Atoi(ns)
+				if err != nil {
+					return p, fmt.Errorf("fault: bad node crash %q: %v", cs, err)
+				}
+				at, err := strconv.ParseInt(as, 10, 64)
+				if err != nil {
+					return p, fmt.Errorf("fault: bad node crash %q: %v", cs, err)
+				}
+				p.Crashes = append(p.Crashes, NodeCrash{Node: node, At: sim.Cycle(at)})
+			}
+		case "node":
+			// The node template itself is a comma-separated Plan, so it
+			// must come after any '=' cut on the ';' part only.
+			np, err := ParsePlan(v)
+			if err != nil {
+				return p, err
+			}
+			p.Node = np
+		default:
+			return p, fmt.Errorf("fault: unknown cluster plan field %q", k)
+		}
+	}
+	sort.SliceStable(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })
+	return p, nil
+}
+
+// RandomCluster derives a cluster crash schedule from rng over a load
+// horizon of roughly `horizon` cycles across `nodes` nodes, carrying
+// `node` as the per-crash template. Shapes produced:
+//
+//   - single node crash (common case),
+//   - rolling crashes: distinct nodes failing at spread-out times,
+//   - crash storm: two nodes failing within one detection window,
+//   - repeat offender: the same node failing twice (the second strike
+//     lands after a plausible recovery, or is dropped at run time if
+//     the node is still down).
+func RandomCluster(rng *rand.Rand, nodes int, horizon sim.Cycle, node Plan) ClusterPlan {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if horizon < 1000 {
+		horizon = 1000
+	}
+	p := ClusterPlan{Node: node}
+	// Crash times land in the middle 10%–80% of the horizon so there is
+	// load before (state to lose) and after (recovery under load).
+	at := func() sim.Cycle {
+		return horizon/10 + sim.Cycle(rng.Int63n(int64(horizon*7/10+1)))
+	}
+	n := 1 + rng.Intn(3)
+	if n > nodes {
+		n = nodes
+	}
+	switch rng.Intn(4) {
+	case 0: // single crash
+		p.Crashes = []NodeCrash{{Node: rng.Intn(nodes), At: at()}}
+	case 1: // rolling: distinct nodes, spread times
+		perm := rng.Perm(nodes)
+		for i := 0; i < n; i++ {
+			p.Crashes = append(p.Crashes, NodeCrash{Node: perm[i], At: at()})
+		}
+	case 2: // storm: two nodes inside one window
+		if nodes == 1 {
+			p.Crashes = []NodeCrash{{Node: 0, At: at()}}
+			break
+		}
+		t := at()
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		for b == a {
+			b = rng.Intn(nodes)
+		}
+		gap := sim.Cycle(rng.Int63n(int64(horizon/20 + 1)))
+		p.Crashes = []NodeCrash{{Node: a, At: t}, {Node: b, At: t + gap}}
+	default: // repeat offender
+		victim := rng.Intn(nodes)
+		t := at()
+		p.Crashes = []NodeCrash{
+			{Node: victim, At: t},
+			{Node: victim, At: t + horizon/8 + sim.Cycle(rng.Int63n(int64(horizon/4+1)))},
+		}
+	}
+	sort.SliceStable(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })
+	return p
+}

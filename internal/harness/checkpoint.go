@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"silo/internal/stats"
+)
+
+// CheckpointSummary aggregates a torture JSONL checkpoint stream for
+// reporting: one sweep's worth of campaign records, deduplicated by
+// campaign index (the latest record wins, matching resume semantics).
+type CheckpointSummary struct {
+	Records   int // JSON lines parsed (including superseded duplicates)
+	Campaigns int // distinct campaign indices
+
+	MidRun   int
+	Commits  int64
+	Torn     int64
+	Dropped  int64
+	Restarts int
+
+	// Failures holds the campaigns whose latest record carries
+	// mismatches or a non-infra error; Infra counts records that never
+	// produced a durability verdict.
+	Failures []Record
+	Infra    int
+
+	// Designs counts campaigns per design name.
+	Designs map[string]int
+
+	// TornTail is set when the final line of the stream is an
+	// unparseable partial record — the writing process died mid-write.
+	// That is interruption, not corruption, so it does not fail the
+	// load; anything unparseable *before* the last line does.
+	TornTail bool
+}
+
+// LoadCheckpoint strictly parses a torture JSONL stream. Unlike
+// ReadRecords (the resume path, which silently skips anything odd so an
+// interrupted sweep can always continue), the reporting path must not
+// quietly under-count: an empty stream and any corrupt record in the
+// middle of the file are errors naming the line; only a torn final line
+// — the signature of an interrupted writer — is tolerated, and flagged.
+func LoadCheckpoint(r io.Reader) (*CheckpointSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	s := &CheckpointSummary{Designs: make(map[string]int)}
+	latest := make(map[int]Record)
+	var order []int
+	lineNo := 0
+	badLine := 0 // most recent unparseable line (candidate torn tail)
+	var badErr error
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if badErr != nil {
+			return nil, fmt.Errorf("checkpoint: line %d: %w (corrupt record mid-stream; the file is damaged, not merely interrupted)", badLine, badErr)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			badLine, badErr = lineNo, err
+			continue
+		}
+		s.Records++
+		if _, seen := latest[rec.Index]; !seen {
+			order = append(order, rec.Index)
+		}
+		latest[rec.Index] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading stream: %w", err)
+	}
+	s.TornTail = badErr != nil
+	if s.Records == 0 {
+		if s.TornTail {
+			return nil, errors.New("checkpoint: stream holds only a torn partial record (writer died mid-first-write); re-run the sweep")
+		}
+		return nil, errors.New("checkpoint: no records (empty stream); was the sweep run with -out?")
+	}
+	sort.Ints(order)
+	s.Campaigns = len(order)
+	for _, idx := range order {
+		rec := latest[idx]
+		s.Designs[rec.Design]++
+		if rec.Infra {
+			s.Infra++
+			continue
+		}
+		if rec.Err != "" || len(rec.Mismatches) > 0 {
+			s.Failures = append(s.Failures, rec)
+			continue
+		}
+		if rec.MidRun {
+			s.MidRun++
+		}
+		s.Commits += rec.Commits
+		s.Torn += rec.Torn
+		s.Dropped += rec.Dropped
+		s.Restarts += rec.Restarts
+	}
+	return s, nil
+}
+
+// Table renders the summary's per-design breakdown.
+func (s *CheckpointSummary) Table() *stats.Table {
+	t := stats.NewTable("campaigns by design", "design", "campaigns")
+	names := make([]string, 0, len(s.Designs))
+	for d := range s.Designs {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	for _, d := range names {
+		t.AddRow(d, fmt.Sprintf("%d", s.Designs[d]))
+	}
+	return t
+}
+
+// String renders the summary as a short human-readable report.
+func (s *CheckpointSummary) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "checkpoint: %d records, %d campaigns (%d superseded duplicates)\n",
+		s.Records, s.Campaigns, s.Records-s.Campaigns)
+	fmt.Fprintf(&b, "  %d crashed mid-run, %d tx committed, %d torn, %d dropped, %d re-crashes\n",
+		s.MidRun, s.Commits, s.Torn, s.Dropped, s.Restarts)
+	if s.Infra > 0 {
+		fmt.Fprintf(&b, "  %d infra-failed (no durability verdict; a resumed sweep retries them)\n", s.Infra)
+	}
+	if s.TornTail {
+		b.WriteString("  stream ends in a torn partial record: the sweep was interrupted mid-write (resume to finish)\n")
+	}
+	if len(s.Failures) == 0 {
+		b.WriteString("  result: PASS (zero durability failures on record)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  result: FAIL (%d campaigns violated atomic durability)\n", len(s.Failures))
+	for _, rec := range s.Failures {
+		fmt.Fprintf(&b, "    campaign %d (%s on %s): ", rec.Index, rec.Design, rec.Workload)
+		switch {
+		case rec.Err != "":
+			fmt.Fprintf(&b, "%s\n", rec.Err)
+		default:
+			fmt.Fprintf(&b, "%d mismatches\n", len(rec.Mismatches))
+		}
+		if rec.Repro != "" {
+			fmt.Fprintf(&b, "      repro: %s\n", rec.Repro)
+		}
+	}
+	return b.String()
+}

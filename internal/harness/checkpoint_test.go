@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func validLine(idx int, extra string) string {
+	return `{"index":` + strconv.Itoa(idx) + `,"design":"Silo","workload":"Array","cores":1,"txns":4,"seed":1,"plan":"trigger=none","repro":"r","report":{},"attempts":1,"commits":3,"mid_run":true` + extra + "}\n"
+}
+
+func TestLoadCheckpointEmptyStreamErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"empty":      "",
+		"whitespace": "\n\n  \n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := LoadCheckpoint(strings.NewReader(body))
+			if err == nil {
+				t.Fatalf("want error on %s stream, got %+v", name, s)
+			}
+			if !strings.Contains(err.Error(), "no records") {
+				t.Errorf("error does not explain the problem: %v", err)
+			}
+		})
+	}
+}
+
+func TestLoadCheckpointTornTailTolerated(t *testing.T) {
+	body := validLine(0, "") + validLine(1, "") + `{"index":2,"design":"Si`
+	s, err := LoadCheckpoint(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("torn final line must not fail the load: %v", err)
+	}
+	if !s.TornTail {
+		t.Error("torn tail not flagged")
+	}
+	if s.Campaigns != 2 || s.Records != 2 {
+		t.Errorf("campaigns=%d records=%d, want 2/2", s.Campaigns, s.Records)
+	}
+	if !strings.Contains(s.String(), "interrupted mid-write") {
+		t.Errorf("summary hides the interruption:\n%s", s.String())
+	}
+}
+
+func TestLoadCheckpointOnlyTornRecordErrors(t *testing.T) {
+	s, err := LoadCheckpoint(strings.NewReader(`{"index":0,"des`))
+	if err == nil {
+		t.Fatalf("a stream holding only a torn record must error, got %+v", s)
+	}
+	if !strings.Contains(err.Error(), "torn partial record") {
+		t.Errorf("error does not explain the problem: %v", err)
+	}
+}
+
+func TestLoadCheckpointMidStreamCorruptionErrors(t *testing.T) {
+	body := validLine(0, "") + "GARBAGE NOT JSON\n" + validLine(1, "")
+	_, err := LoadCheckpoint(strings.NewReader(body))
+	if err == nil {
+		t.Fatal("mid-stream corruption must fail the load")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name the corrupt line: %v", err)
+	}
+}
+
+func TestLoadCheckpointAggregates(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString(validLine(0, ""))
+	b.WriteString(validLine(0, `,"torn":2`)) // retried campaign: later record wins
+	b.WriteString(validLine(1, `,"err":"infra: watchdog","infra":true`))
+	b.WriteString(validLine(2, `,"mismatches":["addr 8 want 1 got 2"]`))
+	s, err := LoadCheckpoint(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 4 || s.Campaigns != 3 {
+		t.Errorf("records=%d campaigns=%d, want 4/3", s.Records, s.Campaigns)
+	}
+	if s.Infra != 1 {
+		t.Errorf("infra=%d want 1", s.Infra)
+	}
+	if len(s.Failures) != 1 || s.Failures[0].Index != 2 {
+		t.Errorf("failures=%+v want campaign 2 only", s.Failures)
+	}
+	if s.Torn != 2 {
+		t.Errorf("later duplicate did not win: torn=%d want 2", s.Torn)
+	}
+	// Campaign 0 contributes 3 commits; campaign 1 is infra and campaign
+	// 2 failed, so neither folds into the clean aggregates.
+	if s.Commits != 3 {
+		t.Errorf("commits=%d want 3", s.Commits)
+	}
+	if !strings.Contains(s.String(), "FAIL (1 campaigns") {
+		t.Errorf("summary misses the failure:\n%s", s.String())
+	}
+	if !strings.Contains(s.Table().String(), "Silo") {
+		t.Errorf("design table empty:\n%s", s.Table().String())
+	}
+}
+
+// A real sweep's stream must load cleanly and agree with the sweep's own
+// aggregates.
+func TestLoadCheckpointRoundTripFromSweep(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := TortureConfig{Seed: 13, Campaigns: 5, Txns: 8, Parallel: 1}
+	cfg.OnRecord = func(r Record) {
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Campaigns != 5 || s.TornTail {
+		t.Errorf("campaigns=%d torntail=%v, want 5/false", s.Campaigns, s.TornTail)
+	}
+	if s.Commits != res.Commits || s.MidRun != res.MidRunCrashes {
+		t.Errorf("summary disagrees with sweep: commits %d vs %d, midrun %d vs %d",
+			s.Commits, res.Commits, s.MidRun, res.MidRunCrashes)
+	}
+	if len(s.Failures) != len(res.Failures) {
+		t.Errorf("failures %d vs %d", len(s.Failures), len(res.Failures))
+	}
+}

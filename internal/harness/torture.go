@@ -77,7 +77,9 @@ type TortureConfig struct {
 	// and never retried (default 2; < 0 disables).
 	Retries int
 	// Backoff is the base delay between retries, doubling each attempt
-	// (default 50ms).
+	// with deterministic seeded jitter (default 50ms). The delay for
+	// (seed, campaign, attempt) is a pure function — no wall-clock
+	// dependence — so a resumed sweep retries on the same schedule.
 	Backoff time.Duration
 
 	// Resume maps campaign index → completed record from a previous
@@ -502,6 +504,27 @@ func (r TortureResult) Summary() string {
 	return b.String()
 }
 
+// RetryDelay is the infra-retry backoff for (seed, campaign, attempt):
+// the base doubling each attempt, plus up to half a base of jitter
+// drawn from a splitmix of the inputs. It is a pure function — two runs
+// of the same sweep retry on the identical schedule, with no wall-clock
+// or shared-RNG dependence, and distinct campaigns still decorrelate so
+// a burst of infra failures does not retry in lockstep.
+func RetryDelay(seed int64, campaign, attempt int, base time.Duration) time.Duration {
+	d := base << attempt
+	if base <= 0 {
+		return 0
+	}
+	x := uint64(seed) ^ uint64(campaign)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	jitter := time.Duration(x % uint64(base/2+1))
+	return d + jitter
+}
+
 // Torture runs the campaign sweep as a hardened fleet: campaigns are
 // independent simulations executing in parallel across host CPUs, each
 // behind panic containment, wall-clock and sim-cycle watchdogs, and
@@ -537,6 +560,26 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 		}
 	}
 
+	execOne := func(i, idx int) {
+		if stopping() {
+			skipped[i] = true
+			return
+		}
+		c := MakeCampaign(cfg, idx)
+		var out CampaignOutcome
+		for attempt := 0; ; attempt++ {
+			out = runContained(run, c, cfg.WallBudget)
+			out.Attempts = attempt + 1
+			if !IsInfra(out.Err) || attempt >= cfg.Retries {
+				break
+			}
+			time.Sleep(RetryDelay(cfg.Seed, idx, attempt, cfg.Backoff))
+		}
+		out.Infra = IsInfra(out.Err)
+		outcomes[i] = out
+		emit(out)
+	}
+
 	sem := make(chan struct{}, cfg.Parallel)
 	var wg sync.WaitGroup
 	var resumeErr error
@@ -552,28 +595,21 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 			outcomes[i] = out
 			continue
 		}
+		if cfg.Parallel == 1 {
+			// Sequential in campaign-index order: goroutines blocked on a
+			// semaphore wake in unspecified order, so even a 1-wide fleet
+			// would emit records nondeterministically. Running inline keeps
+			// the JSONL checkpoint stream byte-identical across runs
+			// (panic containment still applies inside execOne).
+			execOne(i, idx)
+			continue
+		}
 		wg.Add(1)
 		go func(i, idx int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if stopping() {
-				skipped[i] = true
-				return
-			}
-			c := MakeCampaign(cfg, idx)
-			var out CampaignOutcome
-			for attempt := 0; ; attempt++ {
-				out = runContained(run, c, cfg.WallBudget)
-				out.Attempts = attempt + 1
-				if !IsInfra(out.Err) || attempt >= cfg.Retries {
-					break
-				}
-				time.Sleep(cfg.Backoff << attempt)
-			}
-			out.Infra = IsInfra(out.Err)
-			outcomes[i] = out
-			emit(out)
+			execOne(i, idx)
 		}(i, idx)
 	}
 	wg.Wait()

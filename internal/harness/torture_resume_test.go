@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The infra-retry backoff must be a pure function of (seed, campaign,
+// attempt): no wall clock, no shared RNG, so a resumed sweep retries on
+// the identical schedule.
+func TestRetryDelayDeterministic(t *testing.T) {
+	base := 50 * time.Millisecond
+	for campaign := 0; campaign < 20; campaign++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := RetryDelay(99, campaign, attempt, base)
+			b := RetryDelay(99, campaign, attempt, base)
+			if a != b {
+				t.Fatalf("RetryDelay(99,%d,%d) unstable: %v vs %v", campaign, attempt, a, b)
+			}
+			lo := base << attempt
+			if a < lo || a > lo+base/2 {
+				t.Fatalf("RetryDelay(99,%d,%d) = %v outside [%v, %v]", campaign, attempt, a, lo, lo+base/2)
+			}
+		}
+	}
+	if RetryDelay(99, 0, 3, 0) != 0 {
+		t.Error("zero base must disable backoff entirely")
+	}
+	// Distinct campaigns must decorrelate (not retry in lockstep).
+	same := 0
+	for c := 0; c < 16; c++ {
+		if RetryDelay(99, c, 1, base) == RetryDelay(99, c+1, 1, base) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("jitter identical across all campaigns; burst retries would stampede")
+	}
+}
+
+// interruptedSweep runs the sweep at Parallel=1 writing JSONL to buf,
+// stopping after `after` records, then resumes from the partial stream
+// and appends the rest to the same buffer.
+func interruptedSweep(t *testing.T, base TortureConfig, after int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	stop := make(chan struct{})
+	n := 0
+	cfg := base
+	cfg.Parallel = 1
+	cfg.Stop = stop
+	cfg.OnRecord = func(r Record) {
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == after {
+			close(stop)
+		}
+	}
+	first, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted || first.Skipped == 0 {
+		t.Fatalf("sweep was not interrupted: skipped=%d", first.Skipped)
+	}
+
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != after {
+		t.Fatalf("partial stream has %d records, want %d", len(recs), after)
+	}
+	cfg = base
+	cfg.Parallel = 1
+	cfg.Resume = recs
+	cfg.OnRecord = func(r Record) {
+		if err := WriteRecord(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, err := Torture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted || resumed.Skipped != 0 {
+		t.Fatalf("resumed sweep still interrupted: skipped=%d", resumed.Skipped)
+	}
+	return buf.Bytes()
+}
+
+// Two interrupted-and-resumed sweeps — and an uninterrupted baseline —
+// must produce byte-identical JSONL checkpoint streams: sequential
+// emission order, pure-function retry backoff, and no wall-clock state
+// in any record.
+func TestFleetInterruptedResumeByteIdenticalJSONL(t *testing.T) {
+	base := TortureConfig{Seed: 21, Campaigns: 6, Txns: 8}
+
+	var baseline bytes.Buffer
+	cfg := base
+	cfg.Parallel = 1
+	cfg.OnRecord = func(r Record) {
+		if err := WriteRecord(&baseline, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Torture(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	a := interruptedSweep(t, base, 3)
+	b := interruptedSweep(t, base, 3)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two interrupted+resumed runs differ:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Equal(a, baseline.Bytes()) {
+		t.Errorf("interrupted+resumed stream differs from uninterrupted baseline:\n%s\nvs\n%s",
+			a, baseline.Bytes())
+	}
+	// Interrupting at a different point must still converge to the same
+	// final stream.
+	c := interruptedSweep(t, base, 5)
+	if !bytes.Equal(c, baseline.Bytes()) {
+		t.Errorf("different interruption point changed the final stream:\n%s\nvs\n%s",
+			c, baseline.Bytes())
+	}
+}

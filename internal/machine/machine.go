@@ -62,6 +62,14 @@ type Config struct {
 	// built from the same stream. Probes never alter simulated timing or
 	// stats.Run results.
 	Telemetry *telemetry.Recorder
+
+	// Device, when non-nil, is an existing PM device to assemble the
+	// machine over instead of a fresh one — the post-crash reboot path:
+	// media contents and wear survive the power cycle while caches and
+	// logging hardware come up cold. Callers should Device.PowerCycle()
+	// first so stale queue timing from the previous incarnation cannot
+	// leak into the new clock. PM (the config) is ignored when set.
+	Device *pm.Device
 }
 
 // Machine is the simulated system for one run.
@@ -118,9 +126,13 @@ func New(cfg Config) *Machine {
 	if cfg.PersistPath == 0 {
 		cfg.PersistPath = 60
 	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = pm.New(cfg.PM)
+	}
 	m := &Machine{
 		cfg:    cfg,
-		dev:    pm.New(cfg.PM),
+		dev:    dev,
 		inTx:   make([]bool, cfg.Cores),
 		shadow: newShadowTable(),
 	}

@@ -584,6 +584,23 @@ func (d *Device) DrainAll() {
 	}
 }
 
+// PowerCycle prepares the device for a post-crash machine incarnation
+// that restarts its simulated clock at zero: buffered lines drain to the
+// media (the on-PM buffer rides the same stored energy as the WPQ ADR
+// drain), WPQ timing state clears so finish times from the previous
+// life cannot delay new entries, any armed crash-energy budget is
+// disarmed, and the telemetry recorder detaches (the next incarnation
+// attaches its own). Media contents, wear, and cumulative statistics
+// survive — it is the same persistent device.
+func (d *Device) PowerCycle() {
+	d.DrainAll()
+	for _, q := range d.wpq {
+		q.Reset()
+	}
+	d.energy = crashEnergy{}
+	d.tel = nil
+}
+
 // Wear describes the media write distribution across 64 B lines.
 type Wear struct {
 	LinesTouched int64

@@ -55,6 +55,21 @@ func (q *ServiceQueue) Accept(arrival Cycle, service Cycle) (accept, finish Cycl
 	return accept, finish
 }
 
+// Reset clears the queue's timing state — a power cycle. Whatever was
+// draining is gone (ADR drains and battery flushes are modeled by the
+// crash path, not here), and the next machine incarnation restarts its
+// clock at zero, so stale finish times from the previous life must not
+// delay new entries. The accepted counter survives: it feeds cumulative
+// device statistics.
+func (q *ServiceQueue) Reset() {
+	for i := range q.ring {
+		q.ring[i] = 0
+	}
+	q.head = 0
+	q.last = 0
+	q.busyUntil = 0
+}
+
 // Occupancy returns how many entries are still draining at time t.
 func (q *ServiceQueue) Occupancy(t Cycle) int {
 	n := 0

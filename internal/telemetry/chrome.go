@@ -17,6 +17,10 @@ const (
 	TIDLog      = 1002
 	TIDRecovery = 1003
 	TIDWPQBase  = 1100
+	// Cluster tracks: the router gets one instant track; node n's queue
+	// depth and availability transitions ride TIDNodeBase+n.
+	TIDRouter   = 1200
+	TIDNodeBase = 1300
 )
 
 // cyclesToMicros converts simulated cycles to trace microseconds at the
@@ -213,6 +217,27 @@ func (t *ChromeTrace) Event(e Event) {
 		t.ensureTrack(TIDRecovery, "recovery")
 		t.instant(TIDRecovery, e.Cycle, "apply",
 			fmt.Sprintf(`"redo":%d,"undo":%d,"discarded":%d`, e.A, e.B, e.C))
+	case KRoute:
+		t.ensureTrack(TIDRouter, "cluster router")
+		if e.C != 0 {
+			t.instant(TIDRouter, e.Cycle, "fast-fail",
+				fmt.Sprintf(`"node":%d,"key":%d,"attempt":%d`, e.Core, e.A, e.B))
+		} else if e.B > 1 {
+			t.instant(TIDRouter, e.Cycle, "retry-route",
+				fmt.Sprintf(`"node":%d,"key":%d,"attempt":%d`, e.Core, e.A, e.B))
+		}
+	case KNodeQueue:
+		tid := TIDNodeBase + int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("node %d", e.Core))
+		t.counter(tid, e.Cycle, fmt.Sprintf("queue-depth node%d", e.Core), "depth", e.A)
+		if e.C != 0 {
+			t.instant(tid, e.Cycle, "shed", fmt.Sprintf(`"depth":%d,"cap":%d`, e.A, e.B))
+		}
+	case KNodeState:
+		tid := TIDNodeBase + int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("node %d", e.Core))
+		t.instant(tid, e.Cycle, "node-"+nodeStateName(e.A),
+			fmt.Sprintf(`"crash":%d`, e.B))
 	case KNote:
 		t.ensureTrack(TIDPM, "pm device")
 		t.instant(TIDPM, e.Cycle, "note", fmt.Sprintf(`"text":%s`, quoteJSON(e.Note)))

@@ -87,6 +87,18 @@ const (
 	// applied, B = undo applied, C = records discarded.
 	KRecoveryApply
 
+	// KRoute marks a cluster router decision. Core = target node,
+	// A = key hash low bits, B = attempt number, C = 1 when the router
+	// fast-failed because the node was marked down.
+	KRoute
+	// KNodeQueue samples a cluster node's request-queue depth after it
+	// changed. Core = node, A = depth, B = capacity, C = 1 when the
+	// triggering request was shed (queue full).
+	KNodeQueue
+	// KNodeState marks a cluster node availability transition. Core =
+	// node, A = state (0 up, 1 down, 2 recovering), B = crash ordinal.
+	KNodeState
+
 	numKinds
 )
 
@@ -109,6 +121,9 @@ var kindNames = [numKinds]string{
 	KLogCrashFlush:  "log-crash-flush",
 	KRecoveryScan:   "recovery-scan",
 	KRecoveryApply:  "recovery-apply",
+	KRoute:          "route",
+	KNodeQueue:      "node-queue",
+	KNodeState:      "node-state",
 }
 
 func (k Kind) String() string {
@@ -171,6 +186,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("recovery-scan: tid=%d records=%d quarantined=%d", e.Core, e.A, e.B)
 	case KRecoveryApply:
 		return fmt.Sprintf("recovery-apply: redo=%d undo=%d discarded=%d", e.A, e.B, e.C)
+	case KRoute:
+		return fmt.Sprintf("route: node=%d key=%d attempt=%d fastfail=%d now=%d", e.Core, e.A, e.B, e.C, e.Cycle)
+	case KNodeQueue:
+		return fmt.Sprintf("node-queue: node=%d depth=%d/%d shed=%d now=%d", e.Core, e.A, e.B, e.C, e.Cycle)
+	case KNodeState:
+		return fmt.Sprintf("node-state: node=%d state=%s crash=%d now=%d", e.Core, nodeStateName(e.A), e.B, e.Cycle)
 	}
 	return fmt.Sprintf("%s: core=%d addr=%v a=%d b=%d c=%d now=%d", e.Kind, e.Core, e.Addr, e.A, e.B, e.C, e.Cycle)
 }
@@ -394,6 +415,57 @@ func (r *Recorder) RecoveryApply(now sim.Cycle, redo, undo, discarded int) {
 		return
 	}
 	r.Emit(Event{Cycle: now, Kind: KRecoveryApply, Core: -1, A: int64(redo), B: int64(undo), C: int64(discarded)})
+}
+
+// Cluster node availability states carried by KNodeState.A.
+const (
+	NodeUp         = 0
+	NodeDown       = 1
+	NodeRecovering = 2
+)
+
+func nodeStateName(a int64) string {
+	switch a {
+	case NodeUp:
+		return "up"
+	case NodeDown:
+		return "down"
+	case NodeRecovering:
+		return "recovering"
+	}
+	return fmt.Sprintf("state(%d)", a)
+}
+
+// Route probes a cluster router decision for one request attempt.
+func (r *Recorder) Route(node int, now sim.Cycle, key uint64, attempt int, fastFail bool) {
+	if r == nil {
+		return
+	}
+	c := int64(0)
+	if fastFail {
+		c = 1
+	}
+	r.Emit(Event{Cycle: now, Kind: KRoute, Core: int16(node), A: int64(key & 0x7fffffff), B: int64(attempt), C: c})
+}
+
+// NodeQueue samples a cluster node's request-queue depth after a change.
+func (r *Recorder) NodeQueue(node int, now sim.Cycle, depth, capacity int, shed bool) {
+	if r == nil {
+		return
+	}
+	c := int64(0)
+	if shed {
+		c = 1
+	}
+	r.Emit(Event{Cycle: now, Kind: KNodeQueue, Core: int16(node), A: int64(depth), B: int64(capacity), C: c})
+}
+
+// NodeState probes a cluster node availability transition.
+func (r *Recorder) NodeState(node int, now sim.Cycle, state int, crashOrdinal int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Cycle: now, Kind: KNodeState, Core: int16(node), A: int64(state), B: int64(crashOrdinal)})
 }
 
 // Instrumented is implemented by components that accept a recorder after

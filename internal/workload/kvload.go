@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"silo/internal/sim"
+)
+
+// KVLoadConfig shapes the cluster client load model.
+type KVLoadConfig struct {
+	Seed    int64
+	Tenants int     // independent client populations (>=1)
+	Keys    uint64  // shared keyspace size (>=2)
+	ZipfS   float64 // Zipf skew parameter (>1; ~1.07 is YCSB-ish)
+	// ReadPercent is the base read share; tenants vary around it so the
+	// mix differs per tenant (multi-tenant interference).
+	ReadPercent int
+	// MeanGap is the mean inter-arrival time per tenant in cycles
+	// (open-loop Poisson arrivals).
+	MeanGap float64
+	// Diurnal modulates the arrival rate with a sinusoid of the given
+	// period and amplitude (0 < amp < 1): rate(t) = base * (1 +
+	// amp*sin(2πt/period)). Amp 0 or period 0 disables it.
+	DiurnalPeriod sim.Cycle
+	DiurnalAmp    float64
+}
+
+// KVLoad generates the cluster's client requests: per-tenant seeded
+// random sources, Zipfian key popularity with a per-tenant rotation (so
+// tenants hammer different hot keys), per-tenant read/write mixes, and
+// open-loop exponential arrival pacing with an optional diurnal curve.
+// It is engine-free — the cluster's event loop asks each tenant for its
+// next request and schedules it — and deterministic in its config.
+type KVLoad struct {
+	cfg     KVLoadConfig
+	tenants []tenantState
+}
+
+type tenantState struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	readPct int
+	rotate  uint64 // per-tenant hot-set rotation offset
+}
+
+// NewKVLoad builds the load model. Invalid fields are clamped to sane
+// defaults so a zero-ish config still generates load.
+func NewKVLoad(cfg KVLoadConfig) *KVLoad {
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	if cfg.Keys < 2 {
+		cfg.Keys = 2
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.07
+	}
+	if cfg.ReadPercent < 0 {
+		cfg.ReadPercent = 0
+	}
+	if cfg.ReadPercent > 100 {
+		cfg.ReadPercent = 100
+	}
+	if cfg.MeanGap <= 0 {
+		cfg.MeanGap = 1000
+	}
+	if cfg.DiurnalAmp < 0 {
+		cfg.DiurnalAmp = 0
+	}
+	if cfg.DiurnalAmp > 0.9 {
+		cfg.DiurnalAmp = 0.9
+	}
+	l := &KVLoad{cfg: cfg}
+	for t := 0; t < cfg.Tenants; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(t)*0x6a09e667f3bcc909))
+		// Tenants lean read-heavy / write-heavy around the base mix.
+		pct := cfg.ReadPercent + 15*(t%3-1)
+		if pct < 0 {
+			pct = 0
+		}
+		if pct > 100 {
+			pct = 100
+		}
+		l.tenants = append(l.tenants, tenantState{
+			rng:     rng,
+			zipf:    rand.NewZipf(rng, cfg.ZipfS, 1, cfg.Keys-1),
+			readPct: pct,
+			rotate:  (cfg.Keys / uint64(cfg.Tenants)) * uint64(t),
+		})
+	}
+	return l
+}
+
+// Tenants returns the tenant count.
+func (l *KVLoad) Tenants() int { return len(l.tenants) }
+
+// Next draws tenant t's next request: its arrival time (now + an
+// exponential gap shaped by the diurnal curve at `now`), whether it is
+// a read, and the key. The draw order per tenant is fixed, so the whole
+// arrival sequence is reproducible from the config alone.
+func (l *KVLoad) Next(t int, now sim.Cycle) (at sim.Cycle, read bool, key uint64) {
+	ts := &l.tenants[t]
+	gap := l.cfg.MeanGap * ts.rng.ExpFloat64() / l.rate(now)
+	if gap < 1 {
+		gap = 1
+	}
+	if gap > 1e12 {
+		gap = 1e12 // clamp pathological exponential draws
+	}
+	read = ts.rng.Intn(100) < ts.readPct
+	key = (ts.zipf.Uint64() + ts.rotate) % l.cfg.Keys
+	return now + sim.Cycle(gap), read, key
+}
+
+// rate is the diurnal arrival-rate multiplier at time t (>= 1-amp > 0).
+func (l *KVLoad) rate(t sim.Cycle) float64 {
+	if l.cfg.DiurnalAmp == 0 || l.cfg.DiurnalPeriod <= 0 {
+		return 1
+	}
+	return 1 + l.cfg.DiurnalAmp*math.Sin(2*math.Pi*float64(t)/float64(l.cfg.DiurnalPeriod))
+}
