@@ -50,6 +50,8 @@ func main() {
 		requests = flag.Int("requests", 2000, "client requests per run")
 		tenants  = flag.Int("tenants", 3, "independent client populations")
 		readPct  = flag.Int("reads", 60, "base read percentage of the load mix")
+		replicas = flag.Int("replicas", 0, "replica-set size R (0 = auto: 1 in scenario mode, seed-derived 1-3 per sweep campaign)")
+		replMode = flag.String("replication", "sync", "replication mode for R>1: sync (ack after all live replicas) or async (bounded lag, losses counted)")
 		planStr  = flag.String("plan", "", "explicit cluster fault schedule (scenario mode), e.g. \"storm=1@200000;node=budget=256,tear=1\"")
 		telOut   = flag.String("telemetry", "", "write a Perfetto-loadable trace of the run to this file (scenario mode)")
 
@@ -66,15 +68,45 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate the replication shape before any work: a replica set
+	// larger than the cluster or an unknown mode is a config error, not
+	// something to discover one campaign deep into a sweep.
+	mode, err := validateReplication(*nodes, *replicas, *replMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-cluster:", err)
+		os.Exit(2)
+	}
+
 	if *scenario != "" {
-		os.Exit(scenarioMode(*scenario, *seed, *design, *nodes, *requests, *tenants, *readPct, *planStr, *telOut))
+		os.Exit(scenarioMode(*scenario, *seed, *design, *nodes, *requests, *tenants, *readPct, *replicas, mode, *planStr, *telOut))
 	}
 	os.Exit(sweepMode(sweepFlags{
 		seed: *seed, campaigns: *campaigns, offset: *offset,
 		designs: splitCSV(*designs), nodes: *nodes, requests: *requests,
+		replicas: *replicas, mode: mode,
 		shrink: *shrink, audit: *audit, out: *out, resume: *resume,
 		wall: *wall, retries: *retries, parallel: *parallel,
 	}))
+}
+
+// validateReplication checks the replication flags against the cluster
+// shape. replicas 0 is "auto" and always valid; nodes <= 0 falls back
+// to the cluster default before the bound check.
+func validateReplication(nodes, replicas int, mode string) (cluster.ReplicationMode, error) {
+	m, err := cluster.ParseReplicationMode(mode)
+	if err != nil {
+		return m, err
+	}
+	if replicas < 0 {
+		return m, fmt.Errorf("-replicas %d: must be >= 0 (0 = auto)", replicas)
+	}
+	if nodes <= 0 {
+		nodes = 4 // cluster.Config default
+	}
+	if replicas > nodes {
+		return m, fmt.Errorf("-replicas %d exceeds the %d-node cluster: a replica set cannot be larger than the ring", replicas, nodes)
+	}
+	return m, nil
 }
 
 // scenarioPlan derives each named scenario's crash schedule from the
@@ -116,10 +148,11 @@ func scenarioPlan(name string, cfg *cluster.Config) error {
 	return nil
 }
 
-func scenarioMode(name string, seed int64, design string, nodes, requests, tenants, readPct int, planStr, telOut string) int {
+func scenarioMode(name string, seed int64, design string, nodes, requests, tenants, readPct, replicas int, mode cluster.ReplicationMode, planStr, telOut string) int {
 	cfg := cluster.Config{
 		Seed: seed, Design: design, Nodes: nodes, Requests: requests,
 		Tenants: tenants, ReadPercent: readPct,
+		Replicas: replicas, Replication: mode,
 	}
 	if err := scenarioPlan(name, &cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "silo-cluster:", err)
@@ -194,19 +227,41 @@ func printReport(name string, res cluster.Result) {
 	fmt.Printf("  connection resets    %12d\n", res.Resets)
 	fmt.Printf("  late responses       %12d\n", res.Late)
 
+	if res.Replicas > 1 {
+		fmt.Printf("replication: R=%d mode=%s\n", res.Replicas, res.Mode)
+		fmt.Printf("  repl msgs sent       %12d  (%d applied, %d stale, %d dropped)\n",
+			res.ReplSent, res.ReplApplied, res.ReplStale, res.ReplDropped)
+		fmt.Printf("  promotions           %12d\n", res.Promotions)
+		fmt.Printf("  resync entries       %12d\n", res.ResyncEntries)
+		if res.Mode == cluster.ReplAsync || res.AckedLost > 0 {
+			fmt.Printf("  acked writes lost    %12d  (bounded-async exposure)\n", res.AckedLost)
+		} else {
+			fmt.Printf("  acked writes lost    %12d\n", res.AckedLost)
+		}
+	}
+
 	if res.Crashes > 0 {
 		fmt.Printf("faults: %d node crashes, %d torn flush records, %d dropped, %d mid-recovery re-crashes\n",
 			res.Crashes, res.Torn, res.Dropped, res.RecoveryRestarts)
 		fmt.Printf("  recovery replayed %d records, %d redo + %d undo writes, %d tx\n",
 			res.Recovery.TotalRecords, res.Recovery.RedoApplied, res.Recovery.UndoApplied, res.Recovery.CommittedTx)
-		t := stats.NewTable("unavailability windows", "node", "down at", "serving again", "window (µs)", "commits elsewhere")
+		t := stats.NewTable("unavailability windows", "node", "strikes", "down at", "serving again",
+			"window (µs)", "detect (µs)", "promote (µs)", "resync (µs)", "owner outage (µs)", "commits elsewhere")
 		for _, w := range res.Windows {
 			serving := fmt.Sprintf("%d", w.ServingAt)
 			if !w.Closed {
 				serving = "(load ended)"
 			}
-			t.AddRow(fmt.Sprintf("%d", w.Node), fmt.Sprintf("%d", w.DownAt), serving,
-				fmt.Sprintf("%.1f", us(w.Width())), fmt.Sprintf("%d", w.CommitsElsewhere))
+			promote, resync := "-", "-"
+			if res.Replicas > 1 {
+				promote = fmt.Sprintf("%.1f", us(w.Promote()))
+				resync = fmt.Sprintf("%.1f", us(w.Resync()))
+			}
+			t.AddRow(fmt.Sprintf("%d", w.Node), fmt.Sprintf("%d", w.Strikes),
+				fmt.Sprintf("%d", w.DownAt), serving,
+				fmt.Sprintf("%.1f", us(w.Width())), fmt.Sprintf("%.1f", us(w.Detect())),
+				promote, resync,
+				fmt.Sprintf("%.1f", us(w.OwnerOutage())), fmt.Sprintf("%d", w.CommitsElsewhere))
 		}
 		fmt.Print(t.String())
 	}
@@ -237,6 +292,8 @@ type sweepFlags struct {
 	offset          int
 	designs         []string
 	nodes, requests int
+	replicas        int
+	mode            cluster.ReplicationMode
 	shrink, audit   bool
 	out, resume     string
 	wall            time.Duration
@@ -252,6 +309,8 @@ func sweepMode(f sweepFlags) int {
 		Designs:      f.designs,
 		Nodes:        f.nodes,
 		Requests:     f.requests,
+		Replicas:     f.replicas,
+		Replication:  f.mode,
 		Shrink:       f.shrink,
 		DisableAudit: !f.audit,
 		Parallel:     f.parallel,

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"silo/internal/cluster"
+)
+
+func TestValidateReplication(t *testing.T) {
+	cases := []struct {
+		name     string
+		nodes    int
+		replicas int
+		mode     string
+		wantErr  string // substring; "" = valid
+		wantMode cluster.ReplicationMode
+	}{
+		{name: "auto", nodes: 4, replicas: 0, mode: "sync", wantMode: cluster.ReplSync},
+		{name: "r3 of 4", nodes: 4, replicas: 3, mode: "sync", wantMode: cluster.ReplSync},
+		{name: "full ring", nodes: 3, replicas: 3, mode: "async", wantMode: cluster.ReplAsync},
+		{name: "default mode", nodes: 4, replicas: 2, mode: "", wantMode: cluster.ReplSync},
+		{name: "too many replicas", nodes: 3, replicas: 4, mode: "sync", wantErr: "exceeds the 3-node cluster"},
+		{name: "default nodes bound", nodes: 0, replicas: 5, mode: "sync", wantErr: "exceeds the 4-node cluster"},
+		{name: "negative replicas", nodes: 4, replicas: -1, mode: "sync", wantErr: "must be >= 0"},
+		{name: "unknown mode", nodes: 4, replicas: 2, mode: "quorum", wantErr: "quorum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := validateReplication(tc.nodes, tc.replicas, tc.mode)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got nil", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				if strings.ContainsRune(err.Error(), '\n') {
+					t.Fatalf("error spans lines: %q", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if m != tc.wantMode {
+				t.Fatalf("mode = %v, want %v", m, tc.wantMode)
+			}
+		})
+	}
+}

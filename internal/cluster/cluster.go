@@ -26,12 +26,13 @@ type Config struct {
 	Keys     uint64 // keyspace size (default 4096)
 
 	// Client load shape (see workload.KVLoadConfig).
-	Tenants       int
-	ReadPercent   int     // default 60
-	ZipfS         float64 // default 1.07
-	MeanGap       float64 // per-tenant mean inter-arrival, cycles (default 1200)
-	DiurnalPeriod sim.Cycle
-	DiurnalAmp    float64
+	Tenants        int
+	ReadPercent    int     // default 60
+	ZipfS          float64 // default 1.07
+	MeanGap        float64 // per-tenant mean inter-arrival, cycles (default 1200)
+	ReadRecentBias int     // % of reads chasing the tenant's recent writes
+	DiurnalPeriod  sim.Cycle
+	DiurnalAmp     float64
 
 	// Network/RPC cost model. All times are simulated cycles (2 GHz:
 	// 2000 cycles = 1 µs).
@@ -51,6 +52,26 @@ type Config struct {
 	RebootDelay      sim.Cycle // power-on to replay start (default 50_000)
 	RecoverPerRecord sim.Cycle // replay cost per scanned log record (default 300)
 	RecoverPerWrite  sim.Cycle // replay cost per applied word (default 150)
+
+	// Replication. Replicas is the replica-set size R — each key lives
+	// on the first R distinct ring nodes (default 1: no replication,
+	// exactly the pre-replication behavior). Replication selects sync
+	// (ack after all live replicas applied) or bounded-async (ack after
+	// the primary commit; replicas apply AsyncDelay later, and acked
+	// writes lost to a primary crash are counted, not hidden).
+	Replicas    int
+	Replication ReplicationMode
+
+	// PromoteDelay is the router's promotion lag after detection: once a
+	// node is marked down, the next live replica takes over this many
+	// cycles later (default 4000 = 2 µs). ResyncBase + ResyncPerEntry
+	// model the rebooted node's catch-up stream setup and per-entry
+	// apply/transfer cost (defaults 10_000 and 200); AsyncDelay is the
+	// bounded-async replication lag (default 10_000 = 5 µs).
+	PromoteDelay   sim.Cycle
+	ResyncBase     sim.Cycle
+	ResyncPerEntry sim.Cycle
+	AsyncDelay     sim.Cycle
 
 	// Plan is the cluster fault schedule (nil = fault-free).
 	Plan *fault.ClusterPlan
@@ -127,6 +148,24 @@ func (cfg *Config) defaults() {
 	if cfg.RecoverPerWrite == 0 {
 		cfg.RecoverPerWrite = 150
 	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Nodes {
+		cfg.Replicas = cfg.Nodes
+	}
+	if cfg.PromoteDelay == 0 {
+		cfg.PromoteDelay = 4000
+	}
+	if cfg.ResyncBase == 0 {
+		cfg.ResyncBase = 10_000
+	}
+	if cfg.ResyncPerEntry == 0 {
+		cfg.ResyncPerEntry = 200
+	}
+	if cfg.AsyncDelay == 0 {
+		cfg.AsyncDelay = 10_000
+	}
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 400*int64(cfg.Requests) + 100_000
 	}
@@ -141,23 +180,76 @@ func (cfg Config) LoadHorizon() sim.Cycle {
 	return sim.Cycle(perTenant * c.MeanGap)
 }
 
-// CrashWindow is one node crash's availability record.
+// CrashWindow is one node outage's availability record. Consecutive
+// strikes with no successful service in between (a node crashing again
+// during reboot, replay, or catch-up) merge into one continuous window:
+// Strikes counts them, DownAt is the first power failure, and the
+// phase marks below track the final strike's recovery.
 type CrashWindow struct {
 	Node   int
 	DownAt sim.Cycle
 	// ServingAt is when the recovered node completed its first request
-	// of the next incarnation; the window [DownAt, ServingAt] is the
-	// per-crash unavailability window. When load ended before the node
-	// served again, Closed is false and ServingAt clamps to FinalCycle.
+	// of the next incarnation; [DownAt, ServingAt] is the old owner's
+	// full outage. When load ended before the node served again, Closed
+	// is false and ServingAt clamps to FinalCycle.
 	ServingAt sim.Cycle
 	Closed    bool
+	Strikes   int
+	// Phase marks (zero = the phase never happened before the window
+	// resolved): the failure detector firing, the router promoting the
+	// next live replica (Replicas > 1), the final strike's reboot+replay
+	// completing, and the catch-up resync finishing.
+	DetectedAt  sim.Cycle
+	PromotedAt  sim.Cycle
+	RecoveredAt sim.Cycle
+	ResyncEnd   sim.Cycle
+	// FailoverAt is the first completion another replica of one of this
+	// node's keys served inside the window — evidence the keys stayed
+	// available (Replicas > 1).
+	FailoverAt sim.Cycle
 	// CommitsElsewhere counts transactions committed by surviving nodes
 	// inside the window — nonzero means the cluster kept serving.
 	CommitsElsewhere int64
 }
 
-// Width returns the window's length in cycles.
-func (w CrashWindow) Width() sim.Cycle { return w.ServingAt - w.DownAt }
+// Width returns the client-visible unavailability: with replication the
+// window ends at promotion (replicas serve from there on); without it —
+// or when the node returned before promotion — it ends when the owner
+// served again.
+func (w CrashWindow) Width() sim.Cycle {
+	if w.PromotedAt > 0 {
+		return w.PromotedAt - w.DownAt
+	}
+	return w.ServingAt - w.DownAt
+}
+
+// OwnerOutage returns the crashed node's full time out of the ring.
+func (w CrashWindow) OwnerOutage() sim.Cycle { return w.ServingAt - w.DownAt }
+
+// Detect returns the detection phase (crash → detector fired).
+func (w CrashWindow) Detect() sim.Cycle {
+	if w.DetectedAt == 0 {
+		return 0
+	}
+	return w.DetectedAt - w.DownAt
+}
+
+// Promote returns the promotion phase (detector fired → failover done).
+func (w CrashWindow) Promote() sim.Cycle {
+	if w.PromotedAt == 0 || w.DetectedAt == 0 {
+		return 0
+	}
+	return w.PromotedAt - w.DetectedAt
+}
+
+// Resync returns the background catch-up phase (replay done → rejoined
+// the ring), which no longer blocks client traffic under replication.
+func (w CrashWindow) Resync() sim.Cycle {
+	if w.ResyncEnd == 0 || w.RecoveredAt == 0 {
+		return 0
+	}
+	return w.ResyncEnd - w.RecoveredAt
+}
 
 // NodeStats summarizes one node's run.
 type NodeStats struct {
@@ -168,8 +260,10 @@ type NodeStats struct {
 
 // Result is everything one cluster run produced.
 type Result struct {
-	Design string
-	Nodes  int
+	Design   string
+	Nodes    int
+	Replicas int
+	Mode     ReplicationMode
 
 	Generated int64 // client requests created
 	Gets      int64
@@ -195,6 +289,15 @@ type Result struct {
 	RecoveryRestarts int
 	Torn             int64
 	Dropped          int64
+
+	// Replication counters (Replicas > 1).
+	ReplSent      int64 // replication messages sent
+	ReplApplied   int64 // apply transactions committed on replicas
+	ReplStale     int64 // messages superseded by a newer applied version
+	ReplDropped   int64 // messages discarded at a down/wedged replica
+	Promotions    int   // failovers the router completed
+	ResyncEntries int64 // catch-up diff entries applied by rebooted nodes
+	AckedLost     int64 // async mode: acked writes no live replica held at a crash
 
 	Divergences []string // cluster-shadow + per-node golden-shadow verdicts
 
@@ -226,6 +329,11 @@ const (
 	evCrash                   // a scheduled node power failure
 	evRecovered               // a node finished reboot + replay
 	evHealthDown              // the router's failure detector marks a node down
+	evReplRecv                // a replication message reaches a replica
+	evReplDone                // a replica finished applying a replication message
+	evReplAck                 // a replica's apply ack reaches the committing member
+	evPromote                 // the router promotes the next live replica of a down node
+	evResynced                // a rebooted node finished catch-up and re-enters the ring
 )
 
 // response kinds carried in evResp's arg.
@@ -257,6 +365,8 @@ type event struct {
 	node int // node id, tenant id (evArrive), or -1
 	req  *request
 	arg  int
+	repl *replMsg // replication payload (evReplRecv/evReplDone/evReplAck)
+	ver  uint64   // commit version riding evNodeDone/evResp for acked Puts
 }
 
 // eventQueue is a binary min-heap over (at, seq).
@@ -324,6 +434,12 @@ type Cluster struct {
 	rng      *rand.Rand // network + backoff jitter (deterministic use order)
 	writeSeq uint64
 
+	// Replication state (allocated only when Replicas > 1).
+	groups     map[uint64][]int // key → cached ordered replica set
+	linkNext   []sim.Cycle      // per (from, to) link: last replication delivery (FIFO)
+	failedOver []bool           // router promoted the next replica of this down node
+	verSeq     uint64           // global commit version counter
+
 	generated   int64
 	outstanding int64
 	tenantNext  []pendingArrival
@@ -351,6 +467,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.res.Design = cfg.Design
 	c.res.Nodes = cfg.Nodes
+	c.res.Replicas = cfg.Replicas
+	c.res.Mode = cfg.Replication
+	if cfg.Replicas > 1 {
+		c.groups = make(map[uint64][]int)
+		c.linkNext = make([]sim.Cycle, cfg.Nodes*cfg.Nodes)
+		c.failedOver = make([]bool, cfg.Nodes)
+	}
 	c.load = workload.NewKVLoad(workload.KVLoadConfig{
 		Seed:          cfg.Seed ^ 0x6c6f6164, // "load"
 		Tenants:       cfg.Tenants,
@@ -358,6 +481,7 @@ func New(cfg Config) (*Cluster, error) {
 		ZipfS:         cfg.ZipfS,
 		ReadPercent:   cfg.ReadPercent,
 		MeanGap:       cfg.MeanGap,
+		RecentBias:    cfg.ReadRecentBias,
 		DiurnalPeriod: cfg.DiurnalPeriod,
 		DiurnalAmp:    cfg.DiurnalAmp,
 	})
@@ -376,7 +500,12 @@ func New(cfg Config) (*Cluster, error) {
 	c.health = make([]bool, cfg.Nodes)
 	c.released = make([]bool, cfg.Nodes)
 	for id := 0; id < cfg.Nodes; id++ {
-		n := &node{id: id, crashTimes: crashTimes[id]}
+		n := &node{
+			id:         id,
+			crashTimes: crashTimes[id],
+			kv:         make(map[uint64]uint64),
+			ver:        make(map[uint64]uint64),
+		}
 		if len(n.crashTimes) > 0 {
 			n.pendingCrash = n.crashTimes[0]
 		}
@@ -441,8 +570,13 @@ func (c *Cluster) Drive() Result {
 }
 
 func (c *Cluster) schedule(at sim.Cycle, kind evKind, node int, req *request, arg int) {
+	c.scheduleEv(event{at: at, kind: kind, node: node, req: req, arg: arg})
+}
+
+func (c *Cluster) scheduleEv(e event) {
 	c.seq++
-	c.evq.push(event{at: at, seq: c.seq, kind: kind, node: node, req: req, arg: arg})
+	e.seq = c.seq
+	c.evq.push(e)
 }
 
 func (c *Cluster) fail(err error) {
@@ -483,9 +617,9 @@ func (c *Cluster) dispatch(ev event) {
 	case evNodeRecv:
 		c.onNodeRecv(c.nodes[ev.node], ev.req, ev.arg, ev.at)
 	case evNodeDone:
-		c.onNodeDone(c.nodes[ev.node], ev.req, ev.arg, ev.at)
+		c.onNodeDone(c.nodes[ev.node], ev.req, ev.arg, ev.ver, ev.at)
 	case evResp:
-		c.onResp(ev.req, ev.arg, ev.node, ev.at)
+		c.onResp(ev.req, ev.arg, ev.node, ev.ver, ev.at)
 	case evTimeout:
 		if ev.req.done || ev.arg != ev.req.attempt {
 			return
@@ -502,9 +636,28 @@ func (c *Cluster) dispatch(ev event) {
 		c.onRecovered(c.nodes[ev.node], ev.at)
 	case evHealthDown:
 		n := c.nodes[ev.node]
-		if n.state == nodeDown && n.crashes == ev.arg {
-			c.health[ev.node] = false
+		if n.crashes != ev.arg || n.state == nodeUp {
+			return // a newer strike rescheduled detection, or the node beat the detector back up
 		}
+		c.health[ev.node] = false
+		if n.windowOpen {
+			if w := &c.res.Windows[n.windowIdx]; w.DetectedAt == 0 {
+				w.DetectedAt = ev.at
+			}
+		}
+		if c.cfg.Replicas > 1 {
+			c.schedule(ev.at+c.cfg.PromoteDelay, evPromote, ev.node, nil, ev.arg)
+		}
+	case evReplRecv:
+		c.onReplRecv(c.nodes[ev.node], ev.repl, ev.at)
+	case evReplDone:
+		c.onReplDone(c.nodes[ev.node], ev.repl, ev.arg, ev.at)
+	case evReplAck:
+		c.onReplAck(ev.repl, ev.at)
+	case evPromote:
+		c.onPromote(c.nodes[ev.node], ev.arg, ev.at)
+	case evResynced:
+		c.onResynced(c.nodes[ev.node], ev.arg, ev.at)
 	}
 }
 
@@ -540,14 +693,32 @@ func (c *Cluster) onArrive(t int, now sim.Cycle) {
 	}
 }
 
-// route sends one attempt toward the key's owner, or fast-fails if the
-// router believes the owner is down.
+// route sends one attempt toward the key's first live replica. Without
+// replication that is the single owner (fast-fail when the router
+// believes it is down). With replication the router walks the ordered
+// replica set: a member known down *and* failed-over is skipped; a
+// member known down but not yet promoted blocks the walk (promotion is
+// what authorizes the next replica to serve), so the request fast-fails
+// and the client's backoff retry lands after promotion.
 func (c *Cluster) route(req *request, now sim.Cycle) {
-	nodeID := c.ring.Owner(req.key)
+	nodeID, ok := c.ring.Owner(req.key), false
+	if c.cfg.Replicas > 1 {
+		for _, m := range c.groupOf(req.key) {
+			nodeID = m
+			if c.health[m] {
+				ok = true
+				break
+			}
+			if !c.failedOver[m] {
+				break
+			}
+		}
+	} else {
+		ok = c.health[nodeID]
+	}
 	req.node = nodeID
-	down := !c.health[nodeID]
-	c.tel.Route(nodeID, now, req.key, req.attempt, down)
-	if down {
+	c.tel.Route(nodeID, now, req.key, req.attempt, !ok)
+	if !ok {
 		c.res.FastFails++
 		c.schedule(now+c.hopDelay(), evResp, nodeID, req, respUnavail)
 		return
@@ -577,17 +748,78 @@ func (c *Cluster) onNodeRecv(n *node, req *request, attempt int, now sim.Cycle) 
 	}
 }
 
-// startService pops the queue head and executes it on the node machine.
+// startService pulls the node's next work item — replication applies
+// first (they carry other members' ack promises and are exempt from
+// shedding), then client requests — and executes it on the machine. A
+// node mid-resync serves only replication applies.
 func (c *Cluster) startService(n *node, now sim.Cycle) {
-	if n.state != nodeUp || n.busy || len(n.queue) == 0 {
+	for {
+		if n.busy || (n.state != nodeUp && n.state != nodeResync) {
+			return
+		}
+		if n.pendingCrash > 0 && now >= n.pendingCrash {
+			// The power failure event is due this very cycle; don't start
+			// work the crash teardown would have to unwind.
+			n.state = nodeWedged
+			return
+		}
+		if len(n.replQueue) > 0 {
+			msg := n.replQueue[0]
+			copy(n.replQueue, n.replQueue[1:])
+			n.replQueue = n.replQueue[:len(n.replQueue)-1]
+			if msg.ver <= n.ver[msg.key] {
+				// Superseded: a newer version already applied (commit order
+				// crossed links during failover). The replica's state covers
+				// this write, so the sync ack still goes out.
+				c.res.ReplStale++
+				c.ackRepl(n, msg, now)
+				continue
+			}
+			c.serveApply(n, msg, now)
+			return
+		}
+		if n.state != nodeUp || len(n.queue) == 0 {
+			return
+		}
+		c.serveRequest(n, now)
 		return
 	}
-	if n.pendingCrash > 0 && now >= n.pendingCrash {
-		// The power failure event is due this very cycle; don't start
-		// work the crash teardown would have to unwind.
+}
+
+// serveApply executes one replication apply on the node machine.
+func (c *Cluster) serveApply(n *node, msg *replMsg, now sim.Cycle) {
+	n.busy = true
+	sr, err := c.runApply(n, msg, now)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	if sr.committed {
+		msg.committed = true
+		n.kv[msg.key] = msg.val
+		n.ver[msg.key] = msg.ver
+		n.commits++
+		c.res.ReplApplied++
+	}
+	if sr.crashed {
+		tc := now + sr.dur - c.cfg.ServiceOverhead
+		n.state = nodeWedged
+		if !(n.pendingCrash > 0 && tc >= n.pendingCrash) {
+			c.schedule(tc, evCrash, n.id, nil, 0)
+		}
+		return
+	}
+	done := now + sr.dur
+	if n.pendingCrash > 0 && done >= n.pendingCrash {
+		// Applied durably, but power fails before the ack leaves.
 		n.state = nodeWedged
 		return
 	}
+	c.scheduleEv(event{at: done, kind: evReplDone, node: n.id, repl: msg, arg: n.incarn})
+}
+
+// serveRequest pops the client queue head and executes it.
+func (c *Cluster) serveRequest(n *node, now sim.Cycle) {
 	req := n.queue[0]
 	copy(n.queue, n.queue[1:])
 	n.queue = n.queue[:len(n.queue)-1]
@@ -595,7 +827,12 @@ func (c *Cluster) startService(n *node, now sim.Cycle) {
 	n.inflight = req
 	c.tel.NodeQueue(n.id, now, len(n.queue), c.cfg.QueueCap, false)
 
-	sr, err := c.runService(n, req, now)
+	var ver uint64
+	if c.cfg.Replicas > 1 && !req.read {
+		c.verSeq++
+		ver = c.verSeq
+	}
+	sr, err := c.runService(n, req, ver, now)
 	if err != nil {
 		c.fail(err)
 		return
@@ -605,11 +842,15 @@ func (c *Cluster) startService(n *node, now sim.Cycle) {
 		c.res.CommittedPuts++
 		req.committed = true
 		c.shadow.commitPut(req.key, req.val)
+		n.kv[req.key] = req.val
+		if ver > 0 {
+			n.ver[req.key] = ver
+		}
 		c.countCommitInWindows(n.id)
 	}
 	if req.read && !sr.crashed {
 		req.loaded = sr.loaded
-		c.shadow.checkGet(req.key, sr.loaded, n.id, now)
+		c.shadow.checkGet(req.key, sr.loaded, n.kv[req.key], n.id, now)
 	}
 	if sr.crashed {
 		// The machine lost power mid-request. If the cluster-scheduled
@@ -631,12 +872,13 @@ func (c *Cluster) startService(n *node, now sim.Cycle) {
 		n.state = nodeWedged
 		return
 	}
-	c.schedule(done, evNodeDone, n.id, req, n.incarn)
+	c.scheduleEv(event{at: done, kind: evNodeDone, node: n.id, req: req, arg: n.incarn, ver: ver})
 }
 
-// onNodeDone is the server finishing a request: send the response and
-// pull the next queued request.
-func (c *Cluster) onNodeDone(n *node, req *request, incarn int, now sim.Cycle) {
+// onNodeDone is the server finishing a client request: respond (or,
+// for a sync-replicated Put, fan out to the replicas and defer the
+// response to their acks) and pull the next queued work item.
+func (c *Cluster) onNodeDone(n *node, req *request, incarn int, ver uint64, now sim.Cycle) {
 	if n.incarn != incarn || n.state != nodeUp {
 		return // stale completion from a pre-crash incarnation
 	}
@@ -649,14 +891,33 @@ func (c *Cluster) onNodeDone(n *node, req *request, incarn int, now sim.Cycle) {
 		w.Closed = true
 		n.windowOpen = false
 	}
-	c.schedule(now+c.hopDelay(), evResp, n.id, req, respOK)
-	if len(n.queue) > 0 {
+	if c.cfg.Replicas > 1 {
+		c.stampFailover(req.key, n.id, now)
+	}
+	if c.cfg.Replicas > 1 && !req.read {
+		c.replicate(n, req, ver, now)
+	} else {
+		c.scheduleEv(event{at: now + c.hopDelay(), kind: evResp, node: n.id, req: req, arg: respOK, ver: ver})
+	}
+	if len(n.queue) > 0 || len(n.replQueue) > 0 {
 		c.startService(n, now)
 	}
 }
 
+// stampFailover records, on every open window of another replica of
+// this key, the first completion a surviving member served — evidence
+// the key's shard stayed available through the crash.
+func (c *Cluster) stampFailover(key uint64, servedBy int, now sim.Cycle) {
+	for i := range c.res.Windows {
+		w := &c.res.Windows[i]
+		if !w.Closed && w.FailoverAt == 0 && w.Node != servedBy && c.inGroup(key, w.Node) {
+			w.FailoverAt = now
+		}
+	}
+}
+
 // onResp is a response reaching the client.
-func (c *Cluster) onResp(req *request, kind, nodeID int, now sim.Cycle) {
+func (c *Cluster) onResp(req *request, kind, nodeID int, ver uint64, now sim.Cycle) {
 	if req.done {
 		c.res.Late++
 		return
@@ -670,6 +931,9 @@ func (c *Cluster) onResp(req *request, kind, nodeID int, now sim.Cycle) {
 		if !req.read {
 			c.res.AckedPuts++
 			c.shadow.ackPut(req.key, req.val, nodeID, now)
+			if ver > 0 {
+				c.shadow.noteAcked(req.key, ver)
+			}
 		}
 	case respShed, respUnavail, respReset:
 		if kind == respReset {
@@ -694,6 +958,8 @@ func (c *Cluster) retryOrFail(req *request, now sim.Cycle) {
 }
 
 // onRecovered brings the next incarnation of a node into service.
+// Without replication it rejoins immediately; with replication it
+// enters the catch-up resync first and rejoins at evResynced.
 func (c *Cluster) onRecovered(n *node, now sim.Cycle) {
 	n.incarn++
 	if err := c.bootNode(n); err != nil {
@@ -701,7 +967,6 @@ func (c *Cluster) onRecovered(n *node, now sim.Cycle) {
 		return
 	}
 	c.released[n.id] = false
-	n.state = nodeUp
 	for n.nextCrash < len(n.crashTimes) && n.crashTimes[n.nextCrash] <= now {
 		n.nextCrash++
 	}
@@ -709,6 +974,27 @@ func (c *Cluster) onRecovered(n *node, now sim.Cycle) {
 	if n.nextCrash < len(n.crashTimes) {
 		n.pendingCrash = n.crashTimes[n.nextCrash]
 	}
+	if n.windowOpen {
+		c.res.Windows[n.windowIdx].RecoveredAt = now
+	}
+	if c.cfg.Replicas > 1 {
+		n.state = nodeResync
+		c.tel.NodeState(n.id, now, telemetry.NodeRecovering, n.crashes)
+		cost, crashed, err := c.resyncNode(n, now)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if crashed {
+			// Power failed mid-catch-up: the committed prefix is durable
+			// and the node's scheduled evCrash performs the teardown.
+			n.state = nodeWedged
+			return
+		}
+		c.schedule(now+cost, evResynced, n.id, nil, n.incarn)
+		return
+	}
+	n.state = nodeUp
 	c.health[n.id] = true
 	c.tel.NodeState(n.id, now, telemetry.NodeUp, n.crashes)
 }
@@ -738,6 +1024,7 @@ func (c *Cluster) finalize() {
 		})
 	}
 	c.res.Divergences = c.shadow.divergences
+	c.res.AckedLost = c.shadow.ackedLost
 	if c.res.Err == nil && c.outstanding != 0 {
 		// The event queue drained with live requests — a harness bug.
 		c.res.Err = fmt.Errorf("cluster: %d requests unresolved at drain", c.outstanding)

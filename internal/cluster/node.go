@@ -28,6 +28,11 @@ const (
 	// nodeDown: crashed; rebooting and replaying its log. Packets are
 	// blackholed until the router's failure detector marks it down.
 	nodeDown
+	// nodeResync (Replicas > 1 only): rebooted and replayed, now pulling
+	// the catch-up diff from live replicas before re-entering the ring.
+	// Client requests are blackholed; forwarded replication messages are
+	// accepted and applied so the sync-ack contract covers the node.
+	nodeResync
 )
 
 // node is one shard server: a single-core Silo machine over a PM device
@@ -45,6 +50,20 @@ type node struct {
 	queue    []*request
 	busy     bool
 	inflight *request
+
+	// replQueue holds replication messages awaiting apply. It is served
+	// ahead of client requests and is exempt from QueueCap shedding —
+	// backpressure on replication would silently weaken the ack
+	// contract, so lag is surfaced (telemetry KReplLag) instead.
+	replQueue []*replMsg
+
+	// kv/ver mirror the node's durably applied (value, version) words
+	// per key. They survive crashes in host memory, which is legitimate
+	// only because every recovery verifies the replayed PM media against
+	// them word-for-word (checkReplRecovered) — keeping the maps is
+	// equivalent to re-reading them from the media they provably match.
+	kv  map[uint64]uint64
+	ver map[uint64]uint64
 
 	// crashTimes is this node's slice of the cluster fault schedule
 	// (sorted); nextCrash indexes the first not-yet-fired entry.
@@ -117,6 +136,7 @@ func (c *Cluster) bootNode(n *node) error {
 	n.busy = false
 	n.inflight = nil
 	n.queue = n.queue[:0]
+	n.replQueue = n.replQueue[:0]
 	return nil
 }
 
@@ -165,24 +185,51 @@ type serviceResult struct {
 }
 
 // runService executes req on node n's machine starting at cluster time
-// now. If a cluster-scheduled crash is pending for this incarnation,
-// the engine is armed so the power failure lands mid-run at the exact
-// mapped machine cycle — the machine clock only advances while serving,
-// so the mapping is (pending − now) cycles ahead of the current core
-// time, re-armed at every service start.
-func (c *Cluster) runService(n *node, req *request, now sim.Cycle) (serviceResult, error) {
-	var res serviceResult
+// now. A Put under replication (ver > 0) durably stores the value and
+// its replication version in one transaction. If a cluster-scheduled
+// crash is pending for this incarnation, the engine is armed so the
+// power failure lands mid-run at the exact mapped machine cycle — the
+// machine clock only advances while serving, so the mapping is
+// (pending − now) cycles ahead of the current core time, re-armed at
+// every service start.
+func (c *Cluster) runService(n *node, req *request, ver uint64, now sim.Cycle) (serviceResult, error) {
 	addr := c.keyAddr(req.key)
 	st := &reqStream{}
-	if req.read {
+	switch {
+	case req.read:
 		st.ops = []sim.Op{{Kind: sim.OpLoad, Addr: addr}}
-	} else {
+	case ver > 0:
+		st.ops = []sim.Op{
+			{Kind: sim.OpTxBegin},
+			{Kind: sim.OpStore, Addr: addr, Data: mem.Word(req.val)},
+			{Kind: sim.OpStore, Addr: c.verAddr(req.key), Data: mem.Word(ver)},
+			{Kind: sim.OpTxEnd},
+		}
+	default:
 		st.ops = []sim.Op{
 			{Kind: sim.OpTxBegin},
 			{Kind: sim.OpStore, Addr: addr, Data: mem.Word(req.val)},
 			{Kind: sim.OpTxEnd},
 		}
 	}
+	return c.runStream(n, st, now, req.id)
+}
+
+// runApply executes one replication message's apply transaction on the
+// replica's machine: value and version words stored durably together.
+func (c *Cluster) runApply(n *node, msg *replMsg, now sim.Cycle) (serviceResult, error) {
+	st := &reqStream{ops: []sim.Op{
+		{Kind: sim.OpTxBegin},
+		{Kind: sim.OpStore, Addr: c.keyAddr(msg.key), Data: mem.Word(msg.val)},
+		{Kind: sim.OpStore, Addr: c.verAddr(msg.key), Data: mem.Word(msg.ver)},
+		{Kind: sim.OpTxEnd},
+	}}
+	return c.runStream(n, st, now, -int64(msg.ver))
+}
+
+// runStream drives one op stream to completion on n's machine.
+func (c *Cluster) runStream(n *node, st *reqStream, now sim.Cycle, label int64) (serviceResult, error) {
+	var res serviceResult
 	t0 := n.eng.CoreTime(0)
 	if n.pendingCrash > 0 && n.pendingCrash > now {
 		n.eng.ScheduleCrash(t0+(n.pendingCrash-now), n.m.InjectCrash)
@@ -191,7 +238,7 @@ func (c *Cluster) runService(n *node, req *request, now sim.Cycle) (serviceResul
 	n.eng.Bind([]sim.OpStream{st})
 	for steps := 0; n.eng.Step(); steps++ {
 		if steps > serviceStepBudget {
-			return res, fmt.Errorf("cluster: node %d wedged serving request %d (step budget)", n.id, req.id)
+			return res, fmt.Errorf("cluster: node %d wedged serving work item %d (step budget)", n.id, label)
 		}
 	}
 	res.dur = n.eng.CoreTime(0) - t0 + c.cfg.ServiceOverhead
@@ -223,17 +270,34 @@ func (c *Cluster) crashNode(n *node, now sim.Cycle) {
 	c.tel.NodeState(n.id, now, telemetry.NodeDown, n.crashes)
 
 	// The unavailability window opens now; commits on surviving nodes
-	// during it prove the cluster kept serving.
-	n.windowOpen = true
-	n.windowIdx = len(c.res.Windows)
-	c.res.Windows = append(c.res.Windows, CrashWindow{Node: n.id, DownAt: now})
+	// during it prove the cluster kept serving. A node struck again
+	// before its first post-recovery service completion never closed the
+	// previous window — the outage is continuous, so the strike merges
+	// into the open window instead of opening (and orphaning) a new one.
+	if n.windowOpen {
+		c.res.Windows[n.windowIdx].Strikes++
+	} else {
+		n.windowOpen = true
+		n.windowIdx = len(c.res.Windows)
+		c.res.Windows = append(c.res.Windows, CrashWindow{Node: n.id, DownAt: now, Strikes: 1})
+	}
+
+	// The acked-survival contract is checked at the moment of the crash,
+	// against the replicas still standing.
+	if c.cfg.Replicas > 1 {
+		c.checkAckedSurvival(n, now)
+	}
 
 	// Queued requests get connection resets (fast client failure); the
 	// in-flight one, if any, is simply lost — its client times out.
+	// Queued replication applies die with the node: their writes reach
+	// it again through the catch-up resync.
 	for _, qr := range n.queue {
 		c.schedule(now+c.hopDelay(), evResp, n.id, qr, respReset)
 	}
 	n.queue = n.queue[:0]
+	c.res.ReplDropped += int64(len(n.replQueue))
+	n.replQueue = n.replQueue[:0]
 	n.inflight = nil
 	n.busy = false
 	c.tel.NodeQueue(n.id, now, 0, c.cfg.QueueCap, false)
@@ -286,10 +350,16 @@ func (c *Cluster) crashNode(n *node, now sim.Cycle) {
 	}
 	// Verdict 2: the cluster shadow over every committed key this node
 	// owns — catches cross-incarnation loss the per-incarnation machine
-	// shadow cannot see, and proves uncommitted Puts rolled back.
-	c.shadow.checkRecovered(n.id, c.ring.Owner, func(key uint64) uint64 {
-		return uint64(n.dev.PeekWord(c.keyAddr(key)))
-	}, now)
+	// shadow cannot see, and proves uncommitted Puts rolled back. Under
+	// replication the per-node applied map replaces single-owner state
+	// (a replica legitimately trails the cluster-committed value).
+	if c.cfg.Replicas > 1 {
+		c.checkReplRecovered(n, now)
+	} else {
+		c.shadow.checkRecovered(n.id, c.ring.Owner, func(key uint64) uint64 {
+			return uint64(n.dev.PeekWord(c.keyAddr(key)))
+		}, now)
+	}
 
 	// Invalidate the replayed logs before the next incarnation: the new
 	// region writer restarts sequence numbers at zero, and a stale

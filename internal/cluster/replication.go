@@ -1,0 +1,421 @@
+package cluster
+
+// Primary→replica replication and deterministic failover.
+//
+// With Replicas = R > 1 the ring assigns each key an ordered replica
+// set of R distinct nodes (Ring.OwnersN); element 0 is the primary.
+// The router sends every request to the first member it believes is
+// both alive and promoted-to; a write commits on that member's machine
+// and then replicates to the other live members over the same network
+// DES that carries client traffic. Each committed write carries a
+// version from a global monotone counter (assigned at primary commit,
+// so per-key version order is per-key commit order) and the replica
+// stores value and version durably in one transaction — which is what
+// entitles the simulator to keep the per-node kv/ver maps across
+// crashes: after every recovery the maps are verified word-for-word
+// against the replayed PM media.
+//
+// Failover is detection-bound: the failure detector marks a node down
+// DetectDelay after its crash, and PromoteDelay later the router
+// promotes the next live replica (failedOver), after which reads and
+// writes for the dead node's keys flow to the survivors. The rebooted
+// node does not rejoin immediately: it enters nodeResync, pulls a
+// deterministic catch-up diff from the most up-to-date live replica of
+// each key (applied through its machine as durable transactions, so a
+// crash during catch-up tears at a transaction boundary), absorbs
+// forwarded writes for the keys it hosts while catching up, and only
+// re-enters the ring (evResynced) once the billed resync window —
+// ResyncBase + ResyncPerEntry per diff entry + the machine apply time —
+// has elapsed.
+//
+// Replication modes:
+//
+//   - ReplSync: the client ack is withheld until every live replica of
+//     the key (including ones mid-resync — they apply forwarded writes
+//     in order) has durably applied the write. An acked write must
+//     therefore survive any crash that leaves at least one replica
+//     alive; the shadow enforces exactly that at every crash and any
+//     violation is a divergence.
+//   - ReplAsync: the ack follows the primary commit immediately and
+//     replicas apply AsyncDelay later. A primary crash can strand acked
+//     writes that no live replica has applied yet; the shadow counts
+//     them (Result.AckedLost) instead of failing the run — bounded
+//     async reports its loss window, it does not hide it.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"silo/internal/mem"
+	"silo/internal/sim"
+	"silo/internal/telemetry"
+)
+
+// ReplicationMode selects how a committed Put reaches the replicas
+// before (sync) or after (bounded-async) the client ack.
+type ReplicationMode uint8
+
+const (
+	ReplSync ReplicationMode = iota
+	ReplAsync
+)
+
+func (m ReplicationMode) String() string {
+	if m == ReplAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// ParseReplicationMode is the inverse of ReplicationMode.String.
+func ParseReplicationMode(s string) (ReplicationMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "sync":
+		return ReplSync, nil
+	case "async":
+		return ReplAsync, nil
+	}
+	return ReplSync, fmt.Errorf("cluster: unknown replication mode %q (want sync or async)", s)
+}
+
+// replMsg is one replication message: a committed (key, val, ver)
+// triple in flight from the committing member to one replica.
+type replMsg struct {
+	key, val, ver uint64
+	from          int // committing member
+	fromIncarn    int
+	sentAt        sim.Cycle
+	batch         *replBatch // sync-mode ack bookkeeping; nil in async mode
+	committed     bool       // the replica's apply transaction committed
+}
+
+// replBatch tracks one sync-mode commit's outstanding replica acks; the
+// deferred client respOK fires when pending reaches zero, relayed by
+// the committing member (so it dies with it — the client then times out
+// and retries against the promoted replica).
+type replBatch struct {
+	req          *request
+	pending      int
+	origin       int
+	originIncarn int
+	ver          uint64
+}
+
+// verAddr maps a key to the PM word holding its replication version,
+// in a flat region directly above the value region (the data region is
+// ~16 GB; both key regions together are at most 64 KB).
+func (c *Cluster) verAddr(key uint64) mem.Addr {
+	return c.keyAddr(c.cfg.Keys + key)
+}
+
+// groupOf returns the key's ordered replica set, cached per key (the
+// keyspace is small and ring placement is fixed for the run).
+func (c *Cluster) groupOf(key uint64) []int {
+	g := c.groups[key]
+	if g == nil {
+		g = c.ring.OwnersN(key, c.cfg.Replicas)
+		c.groups[key] = g
+	}
+	return g
+}
+
+func (c *Cluster) inGroup(key uint64, nodeID int) bool {
+	for _, m := range c.groupOf(key) {
+		if m == nodeID {
+			return true
+		}
+	}
+	return false
+}
+
+// linkSend FIFO-orders replication traffic per (from, to) link: a later
+// send never arrives before an earlier one, so a replica applies one
+// member's writes in commit order without reordering logic.
+func (c *Cluster) linkSend(from, to int, at sim.Cycle) sim.Cycle {
+	idx := from*c.cfg.Nodes + to
+	if at <= c.linkNext[idx] {
+		at = c.linkNext[idx] + 1
+	}
+	c.linkNext[idx] = at
+	return at
+}
+
+// replicate fans a committed Put out to the key's other live replicas
+// (called from onNodeDone on the committing member, cluster time now).
+// Sync mode defers the client ack to the last replica ack; async mode
+// acks immediately and ships the replication AsyncDelay later.
+func (c *Cluster) replicate(n *node, req *request, ver uint64, now sim.Cycle) {
+	sync := c.cfg.Replication == ReplSync
+	var batch *replBatch
+	if sync {
+		batch = &replBatch{req: req, origin: n.id, originIncarn: n.incarn, ver: ver}
+	}
+	for _, m := range c.groupOf(req.key) {
+		if m == n.id {
+			continue
+		}
+		t := c.nodes[m]
+		if t.state != nodeUp && t.state != nodeResync {
+			continue // down or wedged: this write reaches it via resync
+		}
+		delay := c.hopDelay()
+		if !sync {
+			delay += c.cfg.AsyncDelay
+		}
+		msg := &replMsg{
+			key: req.key, val: req.val, ver: ver,
+			from: n.id, fromIncarn: n.incarn, sentAt: now, batch: batch,
+		}
+		c.res.ReplSent++
+		c.scheduleEv(event{at: c.linkSend(n.id, m, now+delay), kind: evReplRecv, node: m, repl: msg})
+		if sync {
+			batch.pending++
+		}
+	}
+	if !sync || batch.pending == 0 {
+		c.scheduleEv(event{at: now + c.hopDelay(), kind: evResp, node: n.id, req: req, arg: respOK, ver: ver})
+	}
+}
+
+// onReplRecv is a replication message reaching a replica.
+func (c *Cluster) onReplRecv(n *node, msg *replMsg, now sim.Cycle) {
+	if n.state != nodeUp && n.state != nodeResync {
+		c.res.ReplDropped++
+		return
+	}
+	n.replQueue = append(n.replQueue, msg)
+	if !n.busy {
+		c.startService(n, now)
+	}
+}
+
+// ackRepl sends the replica's apply ack back toward the committing
+// member (sync mode only; async sends no acks).
+func (c *Cluster) ackRepl(n *node, msg *replMsg, now sim.Cycle) {
+	if msg.batch == nil {
+		return
+	}
+	c.scheduleEv(event{at: now + c.hopDelay(), kind: evReplAck, node: n.id, repl: msg})
+}
+
+// onReplAck is a replica ack reaching the committing member: when the
+// last one lands, the deferred client respOK leaves the member. Acks to
+// a member that crashed (or rebooted) since the commit are dropped —
+// the client times out and retries against the promoted replica.
+func (c *Cluster) onReplAck(msg *replMsg, now sim.Cycle) {
+	b := msg.batch
+	o := c.nodes[b.origin]
+	if o.state != nodeUp || o.incarn != b.originIncarn || b.req.done {
+		return
+	}
+	if b.pending--; b.pending == 0 {
+		c.scheduleEv(event{at: now + c.hopDelay(), kind: evResp, node: b.origin, req: b.req, arg: respOK, ver: b.ver})
+	}
+}
+
+// onReplDone is the replica's machine finishing an apply transaction:
+// ack it (sync), record the replication lag, and pull the next queued
+// work item.
+func (c *Cluster) onReplDone(n *node, msg *replMsg, incarn int, now sim.Cycle) {
+	if n.incarn != incarn || (n.state != nodeUp && n.state != nodeResync) {
+		return // the replica crashed between apply and completion
+	}
+	n.busy = false
+	if msg.committed {
+		c.ackRepl(n, msg, now)
+		c.tel.ReplLag(n.id, now, int64(now-msg.sentAt), len(n.replQueue))
+	}
+	if len(n.replQueue) > 0 || len(n.queue) > 0 {
+		c.startService(n, now)
+	}
+}
+
+// onPromote is the router completing failover for a detected-down node:
+// from here on, requests for its keys walk past it to the next live
+// replica. Skipped if the node already made it back.
+func (c *Cluster) onPromote(n *node, crashes int, now sim.Cycle) {
+	if n.crashes != crashes || n.state == nodeUp {
+		return
+	}
+	if !c.failedOver[n.id] {
+		c.failedOver[n.id] = true
+		c.res.Promotions++
+	}
+	if n.windowOpen {
+		w := &c.res.Windows[n.windowIdx]
+		if w.PromotedAt == 0 {
+			w.PromotedAt = now
+		}
+	}
+}
+
+// onResynced re-admits a caught-up node to the ring.
+func (c *Cluster) onResynced(n *node, incarn int, now sim.Cycle) {
+	if n.incarn != incarn || n.state != nodeResync {
+		return // re-crashed during catch-up; the next recovery resyncs again
+	}
+	n.state = nodeUp
+	c.health[n.id] = true
+	c.failedOver[n.id] = false
+	if n.windowOpen {
+		w := &c.res.Windows[n.windowIdx]
+		w.ResyncEnd = now
+	}
+	c.tel.NodeState(n.id, now, telemetry.NodeUp, n.crashes)
+	if !n.busy {
+		c.startService(n, now)
+	}
+}
+
+// resyncNode computes and applies the rebooted node's catch-up diff —
+// for every key it hosts, the (val, ver) pair of the most up-to-date
+// live replica if that is ahead of the node's own recovered version —
+// and returns the billed resync window. The diff applies through the
+// node's machine as one durable transaction per entry, so a crash
+// scheduled inside the window tears the catch-up at a transaction
+// boundary and the next recovery starts from the committed prefix;
+// crashed reports that the machine lost power mid-batch (the caller
+// wedges the node until its evCrash teardown fires).
+func (c *Cluster) resyncNode(n *node, now sim.Cycle) (cost sim.Cycle, crashed bool, err error) {
+	type entry struct{ key, val, ver uint64 }
+	seen := make(map[uint64]bool)
+	var keys []uint64
+	for _, p := range c.nodes {
+		if p == n || (p.state != nodeUp && p.state != nodeResync) {
+			continue
+		}
+		for k := range p.ver {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var entries []entry
+	for _, k := range keys {
+		if !c.inGroup(k, n.id) {
+			continue
+		}
+		var src *node
+		for _, m := range c.groupOf(k) {
+			if m == n.id {
+				continue
+			}
+			t := c.nodes[m]
+			if t.state != nodeUp && t.state != nodeResync {
+				continue
+			}
+			if src == nil || t.ver[k] > src.ver[k] {
+				src = t
+			}
+		}
+		if src == nil || src.ver[k] <= n.ver[k] {
+			continue
+		}
+		entries = append(entries, entry{key: k, val: src.kv[k], ver: src.ver[k]})
+	}
+
+	cost = c.cfg.ResyncBase + c.cfg.ResyncPerEntry*sim.Cycle(len(entries))
+	if len(entries) == 0 {
+		return cost, false, nil
+	}
+
+	st := &reqStream{ops: make([]sim.Op, 0, len(entries)*4)}
+	for _, e := range entries {
+		st.ops = append(st.ops,
+			sim.Op{Kind: sim.OpTxBegin},
+			sim.Op{Kind: sim.OpStore, Addr: c.keyAddr(e.key), Data: mem.Word(e.val)},
+			sim.Op{Kind: sim.OpStore, Addr: c.verAddr(e.key), Data: mem.Word(e.ver)},
+			sim.Op{Kind: sim.OpTxEnd},
+		)
+	}
+	t0 := n.eng.CoreTime(0)
+	if n.pendingCrash > 0 && n.pendingCrash > now {
+		n.eng.ScheduleCrash(t0+(n.pendingCrash-now), n.m.InjectCrash)
+	}
+	commitsBefore := n.m.Commits()
+	n.eng.Bind([]sim.OpStream{st})
+	budget := serviceStepBudget * int64(len(entries)+1)
+	for steps := int64(0); n.eng.Step(); steps++ {
+		if steps > budget {
+			return 0, false, fmt.Errorf("cluster: node %d wedged in resync (%d entries, step budget)", n.id, len(entries))
+		}
+	}
+	applied := int(n.m.Commits() - commitsBefore)
+	if applied > len(entries) {
+		applied = len(entries)
+	}
+	for i := 0; i < applied; i++ {
+		n.kv[entries[i].key] = entries[i].val
+		n.ver[entries[i].key] = entries[i].ver
+	}
+	n.commits += int64(applied)
+	c.res.ResyncEntries += int64(applied)
+	return cost + (n.eng.CoreTime(0) - t0), st.crashed, nil
+}
+
+// checkAckedSurvival enforces, at node n's crash, the replication
+// durability contract: for every key n hosts whose acked version is v,
+// some live replica must have applied ≥ v. Sync mode promised exactly
+// that (the ack waited for every live replica), so a violation is a
+// divergence; async mode counts it as an acked-but-lost write. When the
+// whole group is down, durability falls back to per-node PM recovery
+// (checked separately by checkReplRecovered) and the key is skipped.
+func (c *Cluster) checkAckedSurvival(n *node, now sim.Cycle) {
+	keys := make([]uint64, 0, len(c.shadow.ackedVer))
+	for k := range c.shadow.ackedVer {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		av := c.shadow.ackedVer[k]
+		if av == 0 || !c.inGroup(k, n.id) {
+			continue
+		}
+		var best uint64
+		live := false
+		for _, m := range c.groupOf(k) {
+			t := c.nodes[m]
+			if m == n.id || (t.state != nodeUp && t.state != nodeResync) {
+				continue
+			}
+			live = true
+			if t.ver[k] > best {
+				best = t.ver[k]
+			}
+		}
+		if !live || best >= av {
+			continue
+		}
+		if c.cfg.Replication == ReplSync {
+			c.shadow.diverge("node %d crash: acked write key=%d ver=%d absent from every live replica (best=%d, now=%d)",
+				n.id, k, av, best, now)
+		} else {
+			c.shadow.ackedLost++
+		}
+		c.shadow.ackedVer[k] = best // settled: don't recount at the next crash
+	}
+}
+
+// checkReplRecovered verifies the crashed node's replayed PM media
+// word-for-word against its applied kv/ver maps — every committed value
+// and version word restored, every uncommitted apply rolled back. This
+// is what entitles the node to keep those maps across the crash.
+func (c *Cluster) checkReplRecovered(n *node, now sim.Cycle) {
+	keys := make([]uint64, 0, len(n.kv))
+	for k := range n.kv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if got := uint64(n.dev.PeekWord(c.keyAddr(k))); got != n.kv[k] {
+			c.shadow.diverge("node %d: recovered key=%d = %d want %d (now=%d)", n.id, k, got, n.kv[k], now)
+		}
+		if got := uint64(n.dev.PeekWord(c.verAddr(k))); got != n.ver[k] {
+			c.shadow.diverge("node %d: recovered key=%d version word = %d want %d (now=%d)", n.id, k, got, n.ver[k], now)
+		}
+	}
+}

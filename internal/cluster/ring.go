@@ -93,6 +93,54 @@ func (r *Ring) Owner(key uint64) int {
 	return r.points[lo].node
 }
 
+// OwnersN returns the key's ordered replica set: the first n *distinct*
+// nodes met walking clockwise from the key's hash. Element 0 is the
+// primary (identical to Owner); elements 1..n-1 are the replicas in
+// promotion order. n is clamped to [1, nodes], so the result never
+// contains duplicates and never exhausts the ring.
+func (r *Ring) OwnersN(key uint64, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > r.nodes {
+		n = r.nodes
+	}
+	h := splitmix64(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.points[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	owners := make([]int, 0, n)
+	seen := uint64(0) // node-id bitset; falls back to a scan for nodes ≥ 64
+	for i := 0; len(owners) < n && i < len(r.points); i++ {
+		p := r.points[(lo+i)%len(r.points)]
+		if p.node < 64 {
+			if seen&(1<<uint(p.node)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(p.node)
+		} else {
+			dup := false
+			for _, o := range owners {
+				if o == p.node {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		owners = append(owners, p.node)
+	}
+	return owners
+}
+
 // Nodes returns the node count.
 func (r *Ring) Nodes() int { return r.nodes }
 

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestRingOwnersNProperties checks the replica-set contract across ring
+// shapes: element 0 is the primary, members are distinct valid nodes,
+// the count is min(n, nodes), clamping works, and a larger request is a
+// strict prefix-extension of a smaller one (promotion order is stable).
+func TestRingOwnersNProperties(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 8, 13} {
+		for _, vnodes := range []int{1, 3, 16} {
+			r := NewRing(nodes, vnodes, 42)
+			for key := uint64(0); key < 512; key++ {
+				prev := []int{}
+				for n := 0; n <= nodes+2; n++ {
+					owners := r.OwnersN(key, n)
+					wantLen := n
+					if wantLen < 1 {
+						wantLen = 1
+					}
+					if wantLen > nodes {
+						wantLen = nodes
+					}
+					if len(owners) != wantLen {
+						t.Fatalf("nodes=%d vnodes=%d key=%d n=%d: len=%d want %d", nodes, vnodes, key, n, len(owners), wantLen)
+					}
+					if owners[0] != r.Owner(key) {
+						t.Fatalf("nodes=%d key=%d: primary %d != Owner %d", nodes, key, owners[0], r.Owner(key))
+					}
+					seen := map[int]bool{}
+					for _, o := range owners {
+						if o < 0 || o >= nodes {
+							t.Fatalf("nodes=%d key=%d n=%d: owner %d out of range", nodes, key, n, o)
+						}
+						if seen[o] {
+							t.Fatalf("nodes=%d key=%d n=%d: duplicate owner %d in %v", nodes, key, n, o, owners)
+						}
+						seen[o] = true
+					}
+					for i := 0; i < len(prev) && i < len(owners); i++ {
+						if prev[i] != owners[i] {
+							t.Fatalf("nodes=%d key=%d: OwnersN(%d)=%v is not a prefix of OwnersN(%d)=%v",
+								nodes, key, n-1, prev, n, owners)
+						}
+					}
+					prev = owners
+				}
+			}
+		}
+	}
+}
+
+// TestRingOwnersNFullSet checks that asking for the whole ring returns a
+// permutation of all nodes — the clockwise walk reaches everyone.
+func TestRingOwnersNFullSet(t *testing.T) {
+	for _, nodes := range []int{1, 4, 7} {
+		r := NewRing(nodes, 16, 7)
+		for key := uint64(0); key < 256; key++ {
+			owners := r.OwnersN(key, nodes)
+			if len(owners) != nodes {
+				t.Fatalf("nodes=%d key=%d: full set has %d members", nodes, key, len(owners))
+			}
+			seen := make([]bool, nodes)
+			for _, o := range owners {
+				seen[o] = true
+			}
+			for n, ok := range seen {
+				if !ok {
+					t.Fatalf("nodes=%d key=%d: node %d missing from full replica set %v", nodes, key, n, owners)
+				}
+			}
+		}
+	}
+}
+
+// TestRingNodeRemovalMovesOnlyAffectedKeys checks the consistent-hash
+// promise at replica scope: dropping the last node from the ring leaves
+// every key whose replica set avoided that node with the same replica
+// set. (Only keys that used the removed node may move.)
+func TestRingNodeRemovalMovesOnlyAffectedKeys(t *testing.T) {
+	const nodes, vnodes, R = 6, 16, 3
+	// NewRing hashes (seed, node, vnode), so a ring of nodes-1 shares
+	// the surviving nodes' points exactly: removing a node removes only
+	// its own points.
+	big := NewRing(nodes, vnodes, 99)
+	small := NewRing(nodes-1, vnodes, 99)
+	moved, kept := 0, 0
+	for key := uint64(0); key < 4096; key++ {
+		was := big.OwnersN(key, R)
+		uses := false
+		for _, o := range was {
+			if o == nodes-1 {
+				uses = true
+			}
+		}
+		now := small.OwnersN(key, R)
+		if uses {
+			moved++
+			continue // allowed to change arbitrarily
+		}
+		kept++
+		if len(was) != len(now) {
+			t.Fatalf("key %d: replica set resized %v -> %v without using the removed node", key, was, now)
+		}
+		for i := range was {
+			if was[i] != now[i] {
+				t.Fatalf("key %d: replica set moved %v -> %v without using the removed node", key, was, now)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d (test not exercising both classes)", moved, kept)
+	}
+}
+
+// FuzzRingOwners fuzzes the replica-set walk over arbitrary ring shapes
+// and keys, checking the invariants that the deterministic tests pin on
+// chosen shapes: correct length, distinct in-range members, primary
+// agreement, and clamping.
+func FuzzRingOwners(f *testing.F) {
+	f.Add(int64(1), 4, 16, uint64(0), 3)
+	f.Add(int64(42), 1, 1, uint64(7), 1)
+	f.Add(int64(-9), 8, 3, uint64(1<<63), 8)
+	f.Add(int64(7), 70, 2, uint64(12345), 70) // past the 64-node bitset
+	f.Add(int64(0), 3, 5, ^uint64(0), 9)      // n > nodes: clamp
+	f.Add(int64(13), 2, 7, uint64(99), 0)     // n < 1: clamp
+	f.Fuzz(func(t *testing.T, seed int64, nodes, vnodes int, key uint64, n int) {
+		if nodes < 0 || nodes > 96 || vnodes < 0 || vnodes > 32 {
+			t.Skip("ring too large for the fuzz budget")
+		}
+		r := NewRing(nodes, vnodes, seed)
+		owners := r.OwnersN(key, n)
+		wantLen := n
+		if wantLen < 1 {
+			wantLen = 1
+		}
+		if wantLen > r.Nodes() {
+			wantLen = r.Nodes()
+		}
+		if len(owners) != wantLen {
+			t.Fatalf("len=%d want %d (nodes=%d n=%d)", len(owners), wantLen, r.Nodes(), n)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("primary %d != Owner %d", owners[0], r.Owner(key))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if o < 0 || o >= r.Nodes() {
+				t.Fatalf("owner %d out of range [0,%d)", o, r.Nodes())
+			}
+			if seen[o] {
+				t.Fatalf("duplicate owner %d in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	})
+}

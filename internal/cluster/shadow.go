@@ -26,9 +26,20 @@ import (
 //     checked against committed state, not acked state;
 //   - an *uncommitted* Put must never surface: recovery rolls it back
 //     to committed[key], which the per-key recovered check enforces.
+// Under replication (Replicas > 1) the shadow additionally tracks, per
+// key, the highest *acked* version the client ever observed. Versions
+// are assigned at primary commit from a global monotone counter, so
+// per-key version order is per-key commit order. At every node crash
+// the cluster checks the acked-survival invariant: some live replica of
+// the key must have applied at least the acked version. In sync mode a
+// violation is a divergence (the protocol promised the write was
+// replicated before the ack); in bounded-async mode it is counted as an
+// acked-but-lost write — reported, never hidden.
 type shadow struct {
 	committed map[uint64]uint64 // key → last committed value
 	everComm  map[uint64]map[uint64]bool // key → set of values ever committed
+	ackedVer  map[uint64]uint64 // key → max version acked to a client
+	ackedLost int64             // async: acked writes absent from every live replica at a crash
 	divergences []string
 }
 
@@ -36,6 +47,7 @@ func newShadow() *shadow {
 	return &shadow{
 		committed: make(map[uint64]uint64),
 		everComm:  make(map[uint64]map[uint64]bool),
+		ackedVer:  make(map[uint64]uint64),
 	}
 }
 
@@ -58,10 +70,18 @@ func (s *shadow) ackPut(key, val uint64, node int, now sim.Cycle) {
 	}
 }
 
-// checkGet checks a Get served by the owner: the loaded word must equal
-// the last committed value (zero for a never-written key).
-func (s *shadow) checkGet(key, got uint64, node int, now sim.Cycle) {
-	want := s.committed[key]
+// noteAcked records the version the client just saw acked for key —
+// the high-water mark the acked-survival invariant checks at crashes.
+func (s *shadow) noteAcked(key, ver uint64) {
+	if ver > s.ackedVer[key] {
+		s.ackedVer[key] = ver
+	}
+}
+
+// checkGet checks a served Get against the expected word — the serving
+// node's applied state (identical to the cluster-committed value at
+// R = 1, and to the replica's own replicated prefix at R > 1).
+func (s *shadow) checkGet(key, got, want uint64, node int, now sim.Cycle) {
 	if got != want {
 		s.diverge("node %d: get key=%d = %d want %d (now=%d)", node, key, got, want, now)
 	}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 
 	"silo/internal/fault"
@@ -40,7 +42,90 @@ func Scenario(c harness.Campaign) Config {
 	}
 	plan := fault.RandomCluster(rng, cfg.Nodes, cfg.LoadHorizon(), c.Plan)
 	cfg.Plan = &plan
+	// Replication rides the workload name ("ClusterKV/r3/sync") so
+	// records and resume streams stay self-describing; the bare name
+	// derives R from the seed instead. Seed-derived campaigns stay
+	// sync-only — the sweep-wide zero-acked-loss claim only holds for
+	// sync replication, and async exposure is an explicit opt-in.
+	reps, mode, explicit := parseReplWorkload(c.Spec.Workload)
+	if !explicit {
+		reps, mode = 1+rng.Intn(3), ReplSync
+	}
+	if reps > cfg.Nodes {
+		reps = cfg.Nodes
+	}
+	cfg.Replicas, cfg.Replication = reps, mode
+	// Half the campaigns chase their own recent writes, pinning reads
+	// to the keys most exposed across a failover.
+	if rng.Intn(2) == 0 {
+		cfg.ReadRecentBias = 20 + rng.Intn(60)
+	}
 	return cfg
+}
+
+// replWorkload encodes a forced replication config into the campaign
+// workload name; parseReplWorkload is its inverse, reporting explicit =
+// false for the bare name (seed-derived replication).
+func replWorkload(replicas int, mode ReplicationMode) string {
+	if replicas <= 0 {
+		return "ClusterKV"
+	}
+	return fmt.Sprintf("ClusterKV/r%d/%s", replicas, mode)
+}
+
+func parseReplWorkload(name string) (replicas int, mode ReplicationMode, explicit bool) {
+	rest, ok := strings.CutPrefix(name, "ClusterKV/r")
+	if !ok {
+		return 0, ReplSync, false
+	}
+	rs, ms, ok := strings.Cut(rest, "/")
+	if !ok {
+		return 0, ReplSync, false
+	}
+	r, err := strconv.Atoi(rs)
+	if err != nil || r < 1 {
+		return 0, ReplSync, false
+	}
+	m, err := ParseReplicationMode(ms)
+	if err != nil {
+		return 0, ReplSync, false
+	}
+	return r, m, true
+}
+
+// availSummary projects a cluster result's crash windows onto the
+// fleet's availability phase breakdown.
+func availSummary(res Result) *harness.AvailSummary {
+	if res.Replicas <= 1 && len(res.Windows) == 0 {
+		return nil
+	}
+	a := &harness.AvailSummary{
+		Replicas:  res.Replicas,
+		Windows:   len(res.Windows),
+		AckedLost: res.AckedLost,
+	}
+	if a.Replicas < 1 {
+		a.Replicas = 1
+	}
+	if res.Replicas > 1 {
+		a.Mode = res.Mode.String()
+	}
+	for _, w := range res.Windows {
+		a.Strikes += w.Strikes
+		a.DetectSum += int64(w.Detect())
+		a.PromoteSum += int64(w.Promote())
+		a.ResyncSum += int64(w.Resync())
+		width, owner := int64(w.Width()), int64(w.OwnerOutage())
+		a.WidthSum += width
+		a.OwnerSum += owner
+		if width > a.WidthMax {
+			a.WidthMax = width
+		}
+		if owner > a.OwnerMax {
+			a.OwnerMax = owner
+		}
+	}
+	return a
 }
 
 // RunCampaign executes one cluster campaign and maps its Result onto
@@ -66,6 +151,7 @@ func RunCampaign(c harness.Campaign) harness.CampaignOutcome {
 	out.Report = res.Recovery
 	out.Report.Complete = true
 	out.Mismatches = res.Divergences
+	out.Avail = availSummary(res)
 	return out
 }
 
@@ -81,6 +167,12 @@ type TortureConfig struct {
 	Designs   []string // default harness.DesignNames()
 	Nodes     int      // nodes per campaign (default 4)
 	Requests  int      // client requests per campaign (default 400)
+
+	// Replicas forces every campaign's replica-set size (0 = derive R
+	// from each campaign's seed, sync mode). Replication selects the
+	// mode when Replicas is forced.
+	Replicas    int
+	Replication ReplicationMode
 
 	AllowStrict   bool
 	AllowBitFlips bool
@@ -104,10 +196,10 @@ func Torture(cfg TortureConfig) (harness.TortureResult, error) {
 		Campaigns: cfg.Campaigns,
 		Offset:    cfg.Offset,
 		Designs:   cfg.Designs,
-		// The workload name is cosmetic at cluster scope (Scenario
-		// derives the real load from the seed) but keeps records and
-		// repro lines self-describing.
-		Workloads:     []string{"ClusterKV"},
+		// The workload name carries the forced replication config (or,
+		// bare, leaves R seed-derived) so records and repro lines stay
+		// self-describing; Scenario derives the rest from the seed.
+		Workloads:     []string{replWorkload(cfg.Replicas, cfg.Replication)},
 		Cores:         cfg.Nodes,
 		Txns:          cfg.Requests,
 		AllowStrict:   cfg.AllowStrict,
@@ -136,8 +228,12 @@ func Torture(cfg TortureConfig) (harness.TortureResult, error) {
 }
 
 // ReproArgs renders the silo-cluster flags that replay campaign idx of
-// a sweep alone.
-func ReproArgs(seed int64, idx int, nodes, requests int) string {
-	return fmt.Sprintf("go run ./cmd/silo-cluster -campaigns 1 -offset %d -seed %d -nodes %d -requests %d",
+// a sweep alone. replicas 0 means the sweep left R seed-derived.
+func ReproArgs(seed int64, idx int, nodes, requests, replicas int, mode ReplicationMode) string {
+	s := fmt.Sprintf("go run ./cmd/silo-cluster -campaigns 1 -offset %d -seed %d -nodes %d -requests %d",
 		idx, seed, nodes, requests)
+	if replicas > 0 {
+		s += fmt.Sprintf(" -replicas %d -replication %s", replicas, mode)
+	}
+	return s
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"silo/internal/harness"
@@ -109,5 +110,111 @@ func TestClusterSweepResumeByteIdentical(t *testing.T) {
 	}
 	if full.Summary() != resumed.Summary() {
 		t.Errorf("summaries differ:\n%s\nvs\n%s", full.Summary(), resumed.Summary())
+	}
+}
+
+// The deterministic-replay guard at replication scope: a forced-R=3
+// sync sweep must emit a byte-identical JSONL stream on a second run
+// and through an interrupt/resume cycle, and its summary must carry the
+// availability breakdown.
+func TestClusterReplicatedSweepByteIdentical(t *testing.T) {
+	base := TortureConfig{
+		Seed: 93, Campaigns: 6, Nodes: 4, Requests: 150, Parallel: 1,
+		Replicas: 3, Replication: ReplSync,
+	}
+
+	runSweep := func(stopAfter int, buf *bytes.Buffer, resume map[int]harness.Record) harness.TortureResult {
+		cfg := base
+		cfg.Resume = resume
+		var stop chan struct{}
+		n := 0
+		if stopAfter > 0 {
+			stop = make(chan struct{})
+			cfg.Stop = stop
+		}
+		cfg.OnRecord = func(r harness.Record) {
+			if err := harness.WriteRecord(buf, r); err != nil {
+				t.Fatal(err)
+			}
+			if n++; stopAfter > 0 && n == stopAfter {
+				close(stop)
+			}
+		}
+		res, err := Torture(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var first, second bytes.Buffer
+	resA := runSweep(0, &first, nil)
+	resB := runSweep(0, &second, nil)
+	if !resA.Ok() || len(resA.Infra) != 0 {
+		t.Fatalf("replicated sweep unclean:\n%s", resA.Summary())
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("two identical replicated sweeps wrote different streams:\n%s\nvs\n%s",
+			first.Bytes(), second.Bytes())
+	}
+	if resA.Summary() != resB.Summary() {
+		t.Fatalf("summaries differ:\n%s\nvs\n%s", resA.Summary(), resB.Summary())
+	}
+	if !strings.Contains(resA.Summary(), "r3/sync") {
+		t.Fatalf("summary lacks the replication availability breakdown:\n%s", resA.Summary())
+	}
+	if a := resA.Avail["r3/sync"]; a == nil || a.AckedLost != 0 {
+		t.Fatalf("r3/sync breakdown missing or lossy: %+v", a)
+	}
+
+	var interrupted bytes.Buffer
+	part := runSweep(2, &interrupted, nil)
+	if !part.Interrupted {
+		t.Fatal("stop did not interrupt the sweep")
+	}
+	recs, err := harness.ReadRecords(bytes.NewReader(interrupted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := runSweep(0, &interrupted, recs)
+	if resumed.Interrupted {
+		t.Fatal("resumed sweep still interrupted")
+	}
+	if !bytes.Equal(interrupted.Bytes(), first.Bytes()) {
+		t.Errorf("resumed replicated stream differs from baseline:\n%s\nvs\n%s",
+			interrupted.Bytes(), first.Bytes())
+	}
+	if resA.Summary() != resumed.Summary() {
+		t.Errorf("resumed summary differs:\n%s\nvs\n%s", resA.Summary(), resumed.Summary())
+	}
+}
+
+// Forced replication must ride the record stream itself: a resumed
+// record re-derives the identical campaign config, replica count
+// included.
+func TestScenarioReplicationFromWorkloadName(t *testing.T) {
+	cfgT := harness.TortureConfig{Seed: 11, Campaigns: 4, Cores: 4, Txns: 100,
+		Workloads: []string{replWorkload(2, ReplAsync)}}
+	for i := 0; i < 4; i++ {
+		cfg := Scenario(harness.MakeCampaign(cfgT, i))
+		if cfg.Replicas != 2 || cfg.Replication != ReplAsync {
+			t.Fatalf("campaign %d: got R=%d mode=%v, want forced 2/async", i, cfg.Replicas, cfg.Replication)
+		}
+	}
+	// Bare name: seed-derived R in [1,3], sync only.
+	cfgT.Workloads = []string{"ClusterKV"}
+	seen := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		cfg := Scenario(harness.MakeCampaign(cfgT, i))
+		if cfg.Replicas < 1 || cfg.Replicas > 3 {
+			t.Fatalf("campaign %d: derived R=%d out of [1,3]", i, cfg.Replicas)
+		}
+		if cfg.Replication != ReplSync {
+			t.Fatalf("campaign %d: derived mode %v, want sync-only sweeps", i, cfg.Replication)
+		}
+		seen[cfg.Replicas] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("seed-derived R never varied: %v", seen)
 	}
 }

@@ -117,7 +117,12 @@ func ParseClusterPlan(s string) (ClusterPlan, error) {
 //   - crash storm: two nodes failing within one detection window,
 //   - repeat offender: the same node failing twice (the second strike
 //     lands after a plausible recovery, or is dropped at run time if
-//     the node is still down).
+//     the node is still down),
+//   - double fault: a key's primary and a replica both down before the
+//     failure detector (default 30k-cycle lag) can react to the first,
+//   - catch-up strike: the victim is hit again right as its reboot and
+//     catch-up resync should be in flight, so the second strike lands
+//     on a node that is replaying or resyncing rather than serving.
 func RandomCluster(rng *rand.Rand, nodes int, horizon sim.Cycle, node Plan) ClusterPlan {
 	if nodes < 1 {
 		nodes = 1
@@ -135,7 +140,7 @@ func RandomCluster(rng *rand.Rand, nodes int, horizon sim.Cycle, node Plan) Clus
 	if n > nodes {
 		n = nodes
 	}
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0: // single crash
 		p.Crashes = []NodeCrash{{Node: rng.Intn(nodes), At: at()}}
 	case 1: // rolling: distinct nodes, spread times
@@ -155,12 +160,33 @@ func RandomCluster(rng *rand.Rand, nodes int, horizon sim.Cycle, node Plan) Clus
 		}
 		gap := sim.Cycle(rng.Int63n(int64(horizon/20 + 1)))
 		p.Crashes = []NodeCrash{{Node: a, At: t}, {Node: b, At: t + gap}}
-	default: // repeat offender
+	case 3: // repeat offender
 		victim := rng.Intn(nodes)
 		t := at()
 		p.Crashes = []NodeCrash{
 			{Node: victim, At: t},
 			{Node: victim, At: t + horizon/8 + sim.Cycle(rng.Int63n(int64(horizon/4+1)))},
+		}
+	case 4: // double fault inside one detection window
+		if nodes == 1 {
+			p.Crashes = []NodeCrash{{Node: 0, At: at()}}
+			break
+		}
+		t := at()
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		for b == a {
+			b = rng.Intn(nodes)
+		}
+		p.Crashes = []NodeCrash{
+			{Node: a, At: t},
+			{Node: b, At: t + sim.Cycle(rng.Int63n(30_000))},
+		}
+	default: // catch-up strike: re-hit the victim mid-reboot/resync
+		victim := rng.Intn(nodes)
+		t := at()
+		p.Crashes = []NodeCrash{
+			{Node: victim, At: t},
+			{Node: victim, At: t + 60_000 + sim.Cycle(rng.Int63n(int64(horizon/10+1)))},
 		}
 	}
 	sort.SliceStable(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AvailSummary splits one replicated cluster campaign's unavailability
+// into its phases. With replication, a key's crash window is no longer
+// "until the owner recovers": it is detection (the router notices) plus
+// promotion (the next replica takes over), while the owner's full
+// outage — reboot, log replay, catch-up resync — happens in the
+// background. The summary keeps both so reports can show the gap, and
+// carries the acked-write losses async mode admits. All durations are
+// simulated cycles (2 GHz: 2000 cycles = 1 µs).
+type AvailSummary struct {
+	Replicas int    `json:"replicas"`
+	Mode     string `json:"mode,omitempty"` // "sync" / "async"; empty for R=1
+	Windows  int    `json:"windows"`        // distinct crash windows
+	Strikes  int    `json:"strikes"`        // node crashes (re-strikes merge into open windows)
+
+	// Phase sums across windows, in cycles. Detect is down→detected,
+	// Promote detected→promoted (replicated runs only), Resync the
+	// rebooted node's catch-up span.
+	DetectSum  int64 `json:"detect_sum"`
+	PromoteSum int64 `json:"promote_sum"`
+	ResyncSum  int64 `json:"resync_sum"`
+
+	// Width is the client-visible unavailability per window (promotion
+	// bound when a replica took over, full outage otherwise); Owner is
+	// the crashed node's own outage regardless of failover.
+	WidthSum int64 `json:"width_sum"`
+	WidthMax int64 `json:"width_max"`
+	OwnerSum int64 `json:"owner_sum"`
+	OwnerMax int64 `json:"owner_max"`
+
+	// AckedLost counts acked writes lost at a crash (bounded-async
+	// exposure; always 0 for sync replication).
+	AckedLost int64 `json:"acked_lost,omitempty"`
+}
+
+// Key buckets summaries that are comparable: same replica count and
+// replication mode.
+func (a *AvailSummary) Key() string {
+	if a.Replicas <= 1 {
+		return "r1"
+	}
+	return fmt.Sprintf("r%d/%s", a.Replicas, a.Mode)
+}
+
+// Merge folds b into a (same-Key summaries).
+func (a *AvailSummary) Merge(b *AvailSummary) {
+	a.Windows += b.Windows
+	a.Strikes += b.Strikes
+	a.DetectSum += b.DetectSum
+	a.PromoteSum += b.PromoteSum
+	a.ResyncSum += b.ResyncSum
+	a.WidthSum += b.WidthSum
+	a.OwnerSum += b.OwnerSum
+	if b.WidthMax > a.WidthMax {
+		a.WidthMax = b.WidthMax
+	}
+	if b.OwnerMax > a.OwnerMax {
+		a.OwnerMax = b.OwnerMax
+	}
+	a.AckedLost += b.AckedLost
+}
+
+// String renders the summary as one report line (means in µs at the
+// 2 GHz model clock).
+func (a *AvailSummary) String() string {
+	us := func(c int64) float64 { return float64(c) / 2000 }
+	if a.Windows == 0 {
+		return fmt.Sprintf("%s: no crash windows, acked-lost %d", a.Key(), a.AckedLost)
+	}
+	n := int64(a.Windows)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d windows (%d strikes), width mean %.1f max %.1f µs",
+		a.Key(), a.Windows, a.Strikes, us(a.WidthSum/n), us(a.WidthMax))
+	fmt.Fprintf(&b, "; detect mean %.1f", us(a.DetectSum/n))
+	if a.Replicas > 1 {
+		fmt.Fprintf(&b, ", promote mean %.1f, resync mean %.1f", us(a.PromoteSum/n), us(a.ResyncSum/n))
+	}
+	fmt.Fprintf(&b, "; owner outage mean %.1f max %.1f µs; acked-lost %d",
+		us(a.OwnerSum/n), us(a.OwnerMax), a.AckedLost)
+	return b.String()
+}
+
+// mergeAvail folds src into the by-Key map, cloning so callers keep
+// ownership of src.
+func mergeAvail(m map[string]*AvailSummary, src *AvailSummary) {
+	if src == nil {
+		return
+	}
+	if cur, ok := m[src.Key()]; ok {
+		cur.Merge(src)
+		return
+	}
+	cp := *src
+	m[src.Key()] = &cp
+}
+
+// availLines renders a by-Key availability map in deterministic key
+// order, one line per configuration, with the given indent.
+func availLines(m map[string]*AvailSummary, indent string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(indent)
+		b.WriteString(m[k].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

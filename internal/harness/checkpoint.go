@@ -34,6 +34,11 @@ type CheckpointSummary struct {
 	// Designs counts campaigns per design name.
 	Designs map[string]int
 
+	// Avail aggregates cluster availability breakdowns by replication
+	// configuration ("r1", "r3/sync", ...); empty for machine sweeps
+	// and for streams written before replication existed.
+	Avail map[string]*AvailSummary
+
 	// TornTail is set when the final line of the stream is an
 	// unparseable partial record — the writing process died mid-write.
 	// That is interruption, not corruption, so it does not fail the
@@ -50,7 +55,7 @@ type CheckpointSummary struct {
 func LoadCheckpoint(r io.Reader) (*CheckpointSummary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	s := &CheckpointSummary{Designs: make(map[string]int)}
+	s := &CheckpointSummary{Designs: make(map[string]int), Avail: make(map[string]*AvailSummary)}
 	latest := make(map[int]Record)
 	var order []int
 	lineNo := 0
@@ -106,6 +111,7 @@ func LoadCheckpoint(r io.Reader) (*CheckpointSummary, error) {
 		s.Torn += rec.Torn
 		s.Dropped += rec.Dropped
 		s.Restarts += rec.Restarts
+		mergeAvail(s.Avail, rec.Avail)
 	}
 	return s, nil
 }
@@ -131,6 +137,10 @@ func (s *CheckpointSummary) String() string {
 		s.Records, s.Campaigns, s.Records-s.Campaigns)
 	fmt.Fprintf(&b, "  %d crashed mid-run, %d tx committed, %d torn, %d dropped, %d re-crashes\n",
 		s.MidRun, s.Commits, s.Torn, s.Dropped, s.Restarts)
+	if len(s.Avail) > 0 {
+		b.WriteString("  availability by replication config:\n")
+		b.WriteString(availLines(s.Avail, "    "))
+	}
 	if s.Infra > 0 {
 		fmt.Fprintf(&b, "  %d infra-failed (no durability verdict; a resumed sweep retries them)\n", s.Infra)
 	}

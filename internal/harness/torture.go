@@ -191,6 +191,11 @@ type CampaignOutcome struct {
 	Torn       int64 // crash-flush records torn by the energy budget
 	Dropped    int64 // crash-flush records dropped entirely
 
+	// Avail is the availability phase breakdown for cluster campaigns
+	// (nil for machine-scope campaigns and for cluster runs with
+	// neither replication nor crash windows).
+	Avail *AvailSummary
+
 	// Invariant names the audit invariant that fired (empty otherwise);
 	// Trail is the auditor's ring-buffered event trail at that moment,
 	// or a bounded stack excerpt for a non-audit panic.
@@ -435,6 +440,10 @@ type TortureResult struct {
 	Restarts      int
 	Failures      []TortureFailure
 
+	// Avail aggregates cluster availability breakdowns by replication
+	// configuration ("r1", "r3/sync", ...); empty for machine sweeps.
+	Avail map[string]*AvailSummary
+
 	// Infra lists campaigns that never produced a durability verdict
 	// (watchdog kills, host flakes) after exhausting retries; they do
 	// not fail Ok() but CI surfaces them with a distinct exit code.
@@ -457,6 +466,10 @@ func (r TortureResult) Summary() string {
 		r.Campaigns, r.MidRunCrashes, r.Commits)
 	fmt.Fprintf(&b, "recovery: %d tx recovered, %d redo, %d undo, %d quarantined, %d torn, %d dropped, %d mid-recovery re-crashes\n",
 		r.RecoveredTx, r.RedoApplied, r.UndoApplied, r.Quarantined, r.Torn, r.Dropped, r.Restarts)
+	if len(r.Avail) > 0 {
+		b.WriteString("availability:\n")
+		b.WriteString(availLines(r.Avail, "  "))
+	}
 	if r.Skipped > 0 {
 		fmt.Fprintf(&b, "interrupted: %d campaigns skipped (resume to finish them)\n", r.Skipped)
 	}
@@ -647,6 +660,12 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 		res.Torn += o.Torn
 		res.Dropped += o.Dropped
 		res.Restarts += o.Restarts
+		if o.Avail != nil {
+			if res.Avail == nil {
+				res.Avail = make(map[string]*AvailSummary)
+			}
+			mergeAvail(res.Avail, o.Avail)
+		}
 		if len(o.Mismatches) > 0 {
 			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
 		}

@@ -31,6 +31,7 @@ type Record struct {
 	Dropped  int64           `json:"dropped"`
 	Restarts int             `json:"restarts"`
 	Report   recovery.Report `json:"report"`
+	Avail    *AvailSummary   `json:"avail,omitempty"`
 
 	Mismatches []string `json:"mismatches,omitempty"`
 	Err        string   `json:"err,omitempty"`
@@ -61,6 +62,7 @@ func OutcomeRecord(o CampaignOutcome) Record {
 		Dropped:  o.Dropped,
 		Restarts: o.Restarts,
 		Report:   o.Report,
+		Avail:    o.Avail,
 
 		Mismatches: o.Mismatches,
 		Invariant:  o.Invariant,
@@ -103,6 +105,7 @@ func (r Record) Outcome() (CampaignOutcome, error) {
 		Dropped:  r.Dropped,
 		Restarts: r.Restarts,
 		Report:   r.Report,
+		Avail:    r.Avail,
 
 		Mismatches: r.Mismatches,
 		Invariant:  r.Invariant,

@@ -238,6 +238,10 @@ func (t *ChromeTrace) Event(e Event) {
 		t.ensureTrack(tid, fmt.Sprintf("node %d", e.Core))
 		t.instant(tid, e.Cycle, "node-"+nodeStateName(e.A),
 			fmt.Sprintf(`"crash":%d`, e.B))
+	case KReplLag:
+		tid := TIDNodeBase + int(e.Core)
+		t.ensureTrack(tid, fmt.Sprintf("node %d", e.Core))
+		t.counter(tid, e.Cycle, fmt.Sprintf("repl-lag node%d", e.Core), "cycles", e.A)
 	case KNote:
 		t.ensureTrack(TIDPM, "pm device")
 		t.instant(TIDPM, e.Cycle, "note", fmt.Sprintf(`"text":%s`, quoteJSON(e.Note)))

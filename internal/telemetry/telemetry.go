@@ -98,6 +98,10 @@ const (
 	// KNodeState marks a cluster node availability transition. Core =
 	// node, A = state (0 up, 1 down, 2 recovering), B = crash ordinal.
 	KNodeState
+	// KReplLag samples a replica's replication apply: Core = replica
+	// node, A = commit-to-apply lag in cycles, B = replication messages
+	// still queued behind it.
+	KReplLag
 
 	numKinds
 )
@@ -124,6 +128,7 @@ var kindNames = [numKinds]string{
 	KRoute:          "route",
 	KNodeQueue:      "node-queue",
 	KNodeState:      "node-state",
+	KReplLag:        "repl-lag",
 }
 
 func (k Kind) String() string {
@@ -192,6 +197,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("node-queue: node=%d depth=%d/%d shed=%d now=%d", e.Core, e.A, e.B, e.C, e.Cycle)
 	case KNodeState:
 		return fmt.Sprintf("node-state: node=%d state=%s crash=%d now=%d", e.Core, nodeStateName(e.A), e.B, e.Cycle)
+	case KReplLag:
+		return fmt.Sprintf("repl-lag: node=%d lag=%d queued=%d now=%d", e.Core, e.A, e.B, e.Cycle)
 	}
 	return fmt.Sprintf("%s: core=%d addr=%v a=%d b=%d c=%d now=%d", e.Kind, e.Core, e.Addr, e.A, e.B, e.C, e.Cycle)
 }
@@ -466,6 +473,15 @@ func (r *Recorder) NodeState(node int, now sim.Cycle, state int, crashOrdinal in
 		return
 	}
 	r.Emit(Event{Cycle: now, Kind: KNodeState, Core: int16(node), A: int64(state), B: int64(crashOrdinal)})
+}
+
+// ReplLag probes one replication apply landing on a replica: the lag
+// from the primary commit to the durable apply, and the queue behind it.
+func (r *Recorder) ReplLag(node int, now sim.Cycle, lag int64, queued int) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Cycle: now, Kind: KReplLag, Core: int16(node), A: lag, B: int64(queued)})
 }
 
 // Instrumented is implemented by components that accept a recorder after

@@ -19,6 +19,11 @@ type KVLoadConfig struct {
 	// MeanGap is the mean inter-arrival time per tenant in cycles
 	// (open-loop Poisson arrivals).
 	MeanGap float64
+	// RecentBias is the percent of reads redirected to one of the
+	// tenant's own recent writes (read-your-writes pressure: biased
+	// reads chase fresh keys, the ones most exposed across a failover).
+	// 0 disables the bias and leaves the draw sequence untouched.
+	RecentBias int
 	// Diurnal modulates the arrival rate with a sinusoid of the given
 	// period and amplitude (0 < amp < 1): rate(t) = base * (1 +
 	// amp*sin(2πt/period)). Amp 0 or period 0 disables it.
@@ -42,6 +47,11 @@ type tenantState struct {
 	zipf    *rand.Zipf
 	readPct int
 	rotate  uint64 // per-tenant hot-set rotation offset
+	// recent is a small ring of the tenant's latest write keys, fed
+	// back into reads when RecentBias fires.
+	recent  [8]uint64
+	nrecent int
+	rpos    int
 }
 
 // NewKVLoad builds the load model. Invalid fields are clamped to sane
@@ -110,6 +120,19 @@ func (l *KVLoad) Next(t int, now sim.Cycle) (at sim.Cycle, read bool, key uint64
 	}
 	read = ts.rng.Intn(100) < ts.readPct
 	key = (ts.zipf.Uint64() + ts.rotate) % l.cfg.Keys
+	if l.cfg.RecentBias > 0 {
+		if read {
+			if ts.nrecent > 0 && ts.rng.Intn(100) < l.cfg.RecentBias {
+				key = ts.recent[ts.rng.Intn(ts.nrecent)]
+			}
+		} else {
+			ts.recent[ts.rpos] = key
+			ts.rpos = (ts.rpos + 1) % len(ts.recent)
+			if ts.nrecent < len(ts.recent) {
+				ts.nrecent++
+			}
+		}
+	}
 	return now + sim.Cycle(gap), read, key
 }
 
