@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"silo/internal/buildinfo"
 	"silo/internal/harness"
 	"silo/internal/profiling"
 	"silo/internal/stats"
@@ -37,7 +38,9 @@ func main() {
 		benchOut = flag.String("bench-out", "", "with -exp bench: write the machine-readable snapshot (BENCH_silo.json) here")
 	)
 	prof = profiling.Register("silo-bench")
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-bench", showVersion)
 
 	if err := prof.Start(); err != nil {
 		fatal(err)

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"silo/internal/buildinfo"
 	"silo/internal/cluster"
 	"silo/internal/fault"
 	"silo/internal/harness"
@@ -66,7 +67,9 @@ func main() {
 		retries   = flag.Int("retries", 2, "retries for infra failures")
 		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-cluster", showVersion)
 
 	// Validate the replication shape before any work: a replica set
 	// larger than the cluster or an unknown mode is a config error, not

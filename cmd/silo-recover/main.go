@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"silo"
+	"silo/internal/buildinfo"
 	"silo/internal/harness"
 )
 
@@ -28,7 +29,9 @@ func main() {
 		crashAt = flag.Int64("crash-at", 20000, "operation count at which the power fails")
 		scan    = flag.Int64("scan", 0, "instead of one crash, scan every Nth operation index (try 101)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-recover", showVersion)
 
 	if *scan > 0 {
 		points, failures, err := harness.CrashScan(harness.Spec{

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"silo/internal/buildinfo"
 	"silo/internal/harness"
 	"silo/internal/stats"
 )
@@ -34,7 +35,9 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 		torture = flag.String("torture", "", "summarize this torture/cluster JSONL checkpoint stream instead of running the suite")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-report", showVersion)
 
 	if *torture != "" {
 		os.Exit(tortureReport(*torture))

@@ -1,0 +1,49 @@
+// Command silo-serve hosts the live simulation dashboard: an HTTP
+// server that starts sim and cluster runs on demand from parameter
+// presets, streams their telemetry over Server-Sent Events, exposes a
+// Prometheus-text /metrics endpoint, and accepts mid-run crash
+// injection ("pull the plug") through the API.
+//
+// Usage:
+//
+//	silo-serve                 # listen on :8777
+//	silo-serve -addr :9000
+//
+// Then open http://localhost:8777/ for the dashboard, or drive the API
+// directly:
+//
+//	curl -X POST localhost:8777/api/runs -d '{"preset":"silo-btree"}'
+//	curl -N localhost:8777/api/runs/1/events
+//	curl -X POST localhost:8777/api/runs/1/crash
+//	curl localhost:8777/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"silo/internal/buildinfo"
+	"silo/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8777", "listen address")
+	showVersion := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.Handle("silo-serve", showVersion)
+
+	srv := serve.NewServer()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "silo-serve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "silo-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

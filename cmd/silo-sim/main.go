@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"silo/internal/buildinfo"
 	"silo/internal/core"
 	"silo/internal/harness"
 	"silo/internal/profiling"
@@ -47,7 +48,9 @@ func main() {
 		interval = flag.Int64("metrics-interval", 0, "fold telemetry into windows of this many cycles and print the series (0 = off)")
 	)
 	prof = profiling.Register("silo-sim")
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-sim", showVersion)
 
 	if err := prof.Start(); err != nil {
 		fatal(err)

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"silo/internal/buildinfo"
 	"silo/internal/fault"
 	"silo/internal/harness"
 	"silo/internal/profiling"
@@ -70,7 +71,9 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live fleet profiling")
 	)
 	prof = profiling.Register("silo-torture")
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-torture", showVersion)
 
 	if *pprofAddr != "" {
 		go func() {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"silo/internal/buildinfo"
 	"silo/internal/harness"
 	"silo/internal/trace"
 )
@@ -31,7 +32,9 @@ func main() {
 		txns   = flag.Int("txns", 2000, "total transactions (recording only)")
 		seed   = flag.Int64("seed", 42, "seed (must match the recording for replays)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-trace", showVersion)
 
 	switch {
 	case *record != "" && *replay != "":

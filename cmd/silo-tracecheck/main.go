@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"silo/internal/buildinfo"
 	"silo/internal/telemetry"
 )
 
@@ -27,7 +28,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: silo-tracecheck <trace.json>... (or - for stdin)\n")
 		flag.PrintDefaults()
 	}
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("silo-tracecheck", showVersion)
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)

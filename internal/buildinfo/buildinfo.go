@@ -1,0 +1,71 @@
+// Package buildinfo renders the build identity — module path and
+// version, VCS revision and dirty flag, Go toolchain — for the shared
+// -version flag every cmd/* binary exposes, so bug reports and fleet
+// checkpoints can record exactly which build produced them.
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+)
+
+// read is swapped out by tests.
+var read = debug.ReadBuildInfo
+
+// String renders one line of build identity for the given tool name:
+//
+//	silo-sim silo (devel) go1.24.0 rev=1234abcd dirty=true
+//
+// Fields missing from the build metadata (e.g. a non-VCS build) are
+// omitted rather than invented.
+func String(tool string) string {
+	bi, ok := read()
+	if !ok {
+		return tool + " (build info unavailable)"
+	}
+	parts := []string{tool, bi.Main.Path}
+	if bi.Main.Version != "" {
+		parts = append(parts, bi.Main.Version)
+	}
+	if bi.GoVersion != "" {
+		parts = append(parts, bi.GoVersion)
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, "rev="+rev)
+	}
+	if dirty != "" {
+		parts = append(parts, "dirty="+dirty)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Flag registers the shared -version flag on the default flag set. Call
+// before flag.Parse, then pass the result to Handle after.
+func Flag() *bool {
+	return flag.Bool("version", false, "print build information and exit")
+}
+
+// Handle prints the build identity and exits 0 when the -version flag
+// was given; otherwise it returns immediately. tool is the binary name.
+func Handle(tool string, show *bool) {
+	if show == nil || !*show {
+		return
+	}
+	fmt.Println(String(tool))
+	os.Exit(0)
+}

@@ -1,0 +1,57 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringIncludesModuleAndToolchain(t *testing.T) {
+	s := String("silo-test")
+	if !strings.HasPrefix(s, "silo-test ") {
+		t.Errorf("missing tool name: %q", s)
+	}
+	// Under `go test` the module path and Go version are always known.
+	if !strings.Contains(s, "silo") {
+		t.Errorf("missing module path: %q", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Errorf("missing go version: %q", s)
+	}
+}
+
+func TestStringRendersVCSFields(t *testing.T) {
+	old := read
+	defer func() { read = old }()
+	read = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			GoVersion: "go1.24.0",
+			Main:      debug.Module{Path: "silo", Version: "(devel)"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+	s := String("silo-x")
+	for _, want := range []string{"silo-x silo (devel) go1.24.0", "rev=0123456789ab", "dirty=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStringWithoutBuildInfo(t *testing.T) {
+	old := read
+	defer func() { read = old }()
+	read = func() (*debug.BuildInfo, bool) { return nil, false }
+	if s := String("silo-y"); s != "silo-y (build info unavailable)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHandleIsANoOpWhenUnset(t *testing.T) {
+	f := false
+	Handle("silo-z", &f) // must not exit
+	Handle("silo-z", nil)
+}

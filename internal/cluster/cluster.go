@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"silo/internal/core"
 	"silo/internal/fault"
@@ -445,7 +446,53 @@ type Cluster struct {
 	tenantNext  []pendingArrival
 	released    []bool // per node: current machine already released
 
+	// External control (silo-serve): extCrash holds a pending on-demand
+	// node crash (0 none, n+1 node n, -1 any live node) set from another
+	// goroutine; pacer, when non-nil, is called once per dispatched event
+	// on the Drive goroutine to throttle toward wall-clock speed. Neither
+	// is used by batch callers, whose runs stay byte-identical.
+	extCrash atomic.Int64
+	pacer    func(now sim.Cycle)
+
 	res Result
+}
+
+// RequestCrash asks Drive to power-fail a node at the current event
+// time: node >= 0 picks that node, node < 0 the lowest-numbered node
+// still up. Safe from any goroutine; a request against a node already
+// down is dropped (the evCrash double-strike guard).
+func (c *Cluster) RequestCrash(node int) {
+	if node < 0 {
+		c.extCrash.Store(-1)
+		return
+	}
+	c.extCrash.Store(int64(node) + 1)
+}
+
+// SetPacer installs a host-side throttle called once per dispatched
+// event with the event's simulated time. Call before Drive.
+func (c *Cluster) SetPacer(f func(now sim.Cycle)) { c.pacer = f }
+
+// takeExtCrash resolves a pending external crash request to a node id
+// (-1 when none is pending or no node is up).
+func (c *Cluster) takeExtCrash() int {
+	v := c.extCrash.Swap(0)
+	if v == 0 {
+		return -1
+	}
+	if v > 0 {
+		n := int(v - 1)
+		if n < len(c.nodes) && c.nodes[n].state != nodeDown {
+			return n
+		}
+		return -1
+	}
+	for _, n := range c.nodes {
+		if n.state != nodeDown {
+			return n.id
+		}
+	}
+	return -1
 }
 
 type pendingArrival struct {
@@ -562,6 +609,14 @@ func (c *Cluster) Drive() Result {
 		ev := c.evq.pop()
 		if ev.at > c.res.FinalCycle {
 			c.res.FinalCycle = ev.at
+		}
+		if c.extCrash.Load() != 0 {
+			if n := c.takeExtCrash(); n >= 0 {
+				c.schedule(ev.at, evCrash, n, nil, 0)
+			}
+		}
+		if c.pacer != nil {
+			c.pacer(ev.at)
 		}
 		c.dispatch(ev)
 	}

@@ -1,0 +1,73 @@
+package serve
+
+// PresetInfo is one named parameter bundle the dashboard offers: a
+// (design × workload × Table II knobs) point for sim runs, or a
+// replicated-cluster scenario. Explicit request fields overlay the
+// preset's values.
+type PresetInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Params      Params `json:"params"`
+}
+
+// presets is ordered for the API and the dashboard dropdown.
+var presets = []PresetInfo{
+	{
+		Name:        "silo-btree",
+		Description: "Silo, B-tree inserts, 2 cores — the paper's headline design",
+		Params:      Params{Kind: "sim", Design: "Silo", Workload: "Btree", Cores: 2, Txns: 4000},
+	},
+	{
+		Name:        "base-btree",
+		Description: "Base (no logging HW), B-tree inserts, 2 cores — A/B partner for silo-btree",
+		Params:      Params{Kind: "sim", Design: "Base", Workload: "Btree", Cores: 2, Txns: 4000},
+	},
+	{
+		Name:        "fwb-btree",
+		Description: "FWB (flush-on-write-back), B-tree inserts, 2 cores",
+		Params:      Params{Kind: "sim", Design: "FWB", Workload: "Btree", Cores: 2, Txns: 4000},
+	},
+	{
+		Name:        "silo-tpcc-8c",
+		Description: "Silo, TPC-C new-order, 8 cores — the Fig. 12 heavy point",
+		Params:      Params{Kind: "sim", Design: "Silo", Workload: "TPCC", Cores: 8, Txns: 8000},
+	},
+	{
+		Name:        "silo-hash-smallbuf",
+		Description: "Silo with an 8-entry log buffer (Table II knob) — overflow pressure visible on the log-buffer chart",
+		Params:      Params{Kind: "sim", Design: "Silo", Workload: "Hash", Cores: 4, Txns: 6000, LogBufEntries: 8},
+	},
+	{
+		Name:        "silo-queue-bounded-crash",
+		Description: "Silo, queue workload, 64-byte crash-flush energy budget — crash injection tears the in-flight tail",
+		Params:      Params{Kind: "sim", Design: "Silo", Workload: "Queue", Cores: 2, Txns: 4000, FlushBudget: 64},
+	},
+	{
+		Name:        "cluster-r1",
+		Description: "4-node sharded cluster, no replication — a node crash is a visible outage window",
+		Params:      Params{Kind: "cluster", Design: "Silo", Nodes: 4, Requests: 4000},
+	},
+	{
+		Name:        "cluster-r3-sync",
+		Description: "4-node cluster, R=3 synchronous replication — crashes fail over at detection+promotion",
+		Params:      Params{Kind: "cluster", Design: "Silo", Nodes: 4, Requests: 4000, Replicas: 3, Replication: "sync"},
+	},
+	{
+		Name:        "cluster-r3-async",
+		Description: "R=3 bounded-async replication — acked-write losses are counted, never hidden",
+		Params:      Params{Kind: "cluster", Design: "Silo", Nodes: 4, Requests: 4000, Replicas: 3, Replication: "async"},
+	},
+}
+
+// Presets lists every preset in display order.
+func Presets() []PresetInfo { return presets }
+
+// Preset resolves a preset by name.
+func Preset(name string) (PresetInfo, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PresetInfo{}, false
+}

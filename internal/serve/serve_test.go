@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed frame off an SSE stream.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses frames from an event stream until the callback returns
+// false or the stream ends.
+func readSSE(r io.Reader, visit func(sseEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.name != "" || ev.data != "" {
+				if !visit(ev) {
+					return nil
+				}
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return sc.Err()
+}
+
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("POST %s: decoding: %v", url, err)
+	}
+	return resp, m
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+// TestServeEndToEndSimCrashRecover is the PR's acceptance loop: start a
+// run over HTTP, watch live telemetry arrive over SSE (transaction
+// lifecycle, WPQ depth, log-buffer occupancy), pull the plug through the
+// API, see the crash and the recovery phases stream back, and find the
+// finished run reflected in /metrics.
+func TestServeEndToEndSimCrashRecover(t *testing.T) {
+	ts := startServer(t)
+
+	// Paced slow enough that the crash lands mid-run (the full run is
+	// ~280 k cycles, so 30 k cycles/s keeps it alive ~9 s; the crash
+	// fires as soon as the first batches arrive, well before that).
+	resp, created := postJSON(t, ts.URL+"/api/runs",
+		`{"preset":"silo-queue-bounded-crash","cycles_per_sec":30000}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("start: status %d: %v", resp.StatusCode, created)
+	}
+	id := int(created["id"].(float64))
+
+	sseResp, err := http.Get(fmt.Sprintf("%s/api/runs/%d/events", ts.URL, id))
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+
+	kinds := map[string]int{}
+	var finalState string
+	crashSent := false
+	deadline := time.AfterFunc(30*time.Second, func() { sseResp.Body.Close() })
+	defer deadline.Stop()
+	err = readSSE(sseResp.Body, func(ev sseEvent) bool {
+		switch ev.name {
+		case "batch":
+			var events []wireEvent
+			if err := json.Unmarshal([]byte(ev.data), &events); err != nil {
+				t.Fatalf("batch decode: %v", err)
+			}
+			for _, e := range events {
+				kinds[e.Kind]++
+			}
+			// Once live telemetry proves the run is underway, pull the plug.
+			if !crashSent && kinds["tx-commit"] > 0 && kinds["wpq-write"] > 0 && kinds["logbuf-occ"] > 0 {
+				crashSent = true
+				r, body := postJSON(t, fmt.Sprintf("%s/api/runs/%d/crash", ts.URL, id), `{}`)
+				if r.StatusCode != http.StatusAccepted {
+					t.Fatalf("crash: status %d: %v", r.StatusCode, body)
+				}
+			}
+		case "done":
+			var info Info
+			if err := json.Unmarshal([]byte(ev.data), &info); err != nil {
+				t.Fatalf("done decode: %v", err)
+			}
+			finalState = info.State
+			if info.Recovery == nil {
+				t.Error("done Info lacks recovery summary")
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("SSE read: %v", err)
+	}
+	if !crashSent {
+		t.Fatal("never saw enough live telemetry to send the crash")
+	}
+	for _, kind := range []string{"tx-begin", "tx-commit", "wpq-write", "logbuf-occ", "crash", "recovery-apply"} {
+		if kinds[kind] == 0 {
+			t.Errorf("SSE stream carried no %q events (saw %v)", kind, kinds)
+		}
+	}
+	if finalState != StateRecovered {
+		t.Fatalf("final state = %q, want %q", finalState, StateRecovered)
+	}
+
+	// The finished run shows up in the Prometheus exposition, labeled.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	metrics := string(body)
+	wantLabel := fmt.Sprintf(`run="%d"`, id)
+	for _, want := range []string{
+		"silo_serve_runs_started 1",
+		"# TYPE silo_commits counter",
+		wantLabel,
+		`state="recovered"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServeClusterCrashFailover drives the cluster path: a replicated
+// cluster run, a node crash through the API, failover, and a terminal
+// recovered state with a measured outage window.
+func TestServeClusterCrashFailover(t *testing.T) {
+	ts := startServer(t)
+	resp, created := postJSON(t, ts.URL+"/api/runs",
+		`{"preset":"cluster-r3-sync","cycles_per_sec":400000}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("start: status %d: %v", resp.StatusCode, created)
+	}
+	id := int(created["id"].(float64))
+	time.Sleep(300 * time.Millisecond) // let the cluster take some traffic
+	if r, body := postJSON(t, fmt.Sprintf("%s/api/runs/%d/crash", ts.URL, id), `{"node":1}`); r.StatusCode != http.StatusAccepted {
+		t.Fatalf("crash: status %d: %v", r.StatusCode, body)
+	}
+
+	var info Info
+	for wait := 0; ; wait++ {
+		getJSON(t, fmt.Sprintf("%s/api/runs/%d", ts.URL, id), &info)
+		if info.State != StateRunning {
+			break
+		}
+		if wait > 300 {
+			t.Fatalf("cluster run never finished: %+v", info)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if info.State != StateRecovered {
+		t.Fatalf("state = %q, want %q (%+v)", info.State, StateRecovered, info)
+	}
+	cl := info.Cluster
+	if cl == nil {
+		t.Fatal("no cluster summary")
+	}
+	if cl.Crashes != 1 || cl.Promotions < 1 {
+		t.Errorf("crashes = %d, promotions = %d; want 1, ≥1", cl.Crashes, cl.Promotions)
+	}
+	if len(cl.Windows) == 0 || cl.Windows[0].WidthCycles <= 0 {
+		t.Errorf("no outage window measured: %+v", cl.Windows)
+	}
+	if len(cl.Divergences) != 0 {
+		t.Errorf("replica divergences: %v", cl.Divergences)
+	}
+}
+
+// TestServeRunToCompletion: an unpaced run finishes on its own and the
+// stream ends with a done state.
+func TestServeRunToCompletion(t *testing.T) {
+	ts := startServer(t)
+	_, created := postJSON(t, ts.URL+"/api/runs", `{"preset":"silo-btree"}`)
+	id := int(created["id"].(float64))
+	var info Info
+	for wait := 0; ; wait++ {
+		getJSON(t, fmt.Sprintf("%s/api/runs/%d", ts.URL, id), &info)
+		if info.State != StateRunning {
+			break
+		}
+		if wait > 300 {
+			t.Fatal("run never finished")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if info.State != StateDone {
+		t.Fatalf("state = %q, want %q", info.State, StateDone)
+	}
+	if info.Sim == nil || info.Sim.Transactions != 4000 {
+		t.Fatalf("sim summary = %+v, want 4000 tx", info.Sim)
+	}
+	// Late subscriber still sees a done event immediately.
+	sseResp, err := http.Get(fmt.Sprintf("%s/api/runs/%d/events", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sawDone := false
+	_ = readSSE(sseResp.Body, func(ev sseEvent) bool {
+		if ev.name == "done" {
+			sawDone = true
+			return false
+		}
+		return true
+	})
+	if !sawDone {
+		t.Fatal("late subscriber never saw done")
+	}
+}
+
+func TestServeAPIErrors(t *testing.T) {
+	ts := startServer(t)
+
+	if r, body := postJSON(t, ts.URL+"/api/runs", `{"preset":"no-such"}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown preset: status %d: %v", r.StatusCode, body)
+	}
+	if r, body := postJSON(t, ts.URL+"/api/runs", `{"bogus_field":1}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d: %v", r.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/api/runs/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing run: status %d", resp.StatusCode)
+	}
+
+	// Crashing an already-finished run conflicts.
+	_, created := postJSON(t, ts.URL+"/api/runs", `{"preset":"silo-btree","txns":200}`)
+	id := int(created["id"].(float64))
+	var info Info
+	for wait := 0; ; wait++ {
+		getJSON(t, fmt.Sprintf("%s/api/runs/%d", ts.URL, id), &info)
+		if info.State != StateRunning {
+			break
+		}
+		if wait > 200 {
+			t.Fatal("short run never finished")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if r, body := postJSON(t, fmt.Sprintf("%s/api/runs/%d/crash", ts.URL, id), `{}`); r.StatusCode != http.StatusConflict {
+		t.Errorf("crash after terminal: status %d: %v", r.StatusCode, body)
+	}
+}
+
+func TestServeHealthzPresetsAndIndex(t *testing.T) {
+	ts := startServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(b)) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, b)
+	}
+
+	var presets []PresetInfo
+	getJSON(t, ts.URL+"/api/presets", &presets)
+	if len(presets) < 5 {
+		t.Errorf("presets = %d, want several", len(presets))
+	}
+	seen := map[string]bool{}
+	for _, p := range presets {
+		seen[p.Params.Kind] = true
+	}
+	if !seen["sim"] || !seen["cluster"] {
+		t.Errorf("presets missing a kind: %v", seen)
+	}
+
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "silo-serve") {
+		t.Errorf("dashboard HTML lacks the title")
+	}
+	if !strings.Contains(string(b), "EventSource") {
+		t.Errorf("dashboard lacks the SSE client")
+	}
+}

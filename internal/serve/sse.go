@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"silo/internal/telemetry"
+)
+
+// wireEvent is the JSON shape of one telemetry event on the SSE stream.
+type wireEvent struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Core  int    `json:"core"`
+	Addr  uint64 `json:"addr,omitempty"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	C     int64  `json:"c"`
+	Note  string `json:"note,omitempty"`
+}
+
+func toWire(e telemetry.Event) wireEvent {
+	return wireEvent{
+		Cycle: int64(e.Cycle), Kind: e.Kind.String(), Core: int(e.Core),
+		Addr: uint64(e.Addr), A: e.A, B: e.B, C: e.C, Note: e.Note,
+	}
+}
+
+// sseBatch is how many ring events one SSE frame carries at most.
+const sseBatch = 512
+
+// handleEvents streams a run's telemetry over Server-Sent Events:
+//
+//	event: run     — the run Info, sent first and on state changes
+//	event: batch   — a JSON array of telemetry events
+//	event: drops   — {"dropped":N} when this subscriber was lapped
+//	event: done    — final Info; the stream then closes
+//
+// The subscriber reads from the run's LiveSink ring at its own pace;
+// falling behind drops events (reported, never blocking the engine).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	s.sseClients.Add(1)
+	defer s.sseClients.Add(-1)
+
+	sub := run.Sink().Subscribe()
+	defer sub.Cancel()
+
+	send := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+
+	lastState := run.State()
+	send("run", run.Info())
+	flusher.Flush()
+
+	buf := make([]telemetry.Event, sseBatch)
+	wire := make([]wireEvent, 0, sseBatch)
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+
+	for {
+		n, dropped, open := sub.Poll(buf)
+		if dropped > 0 {
+			send("drops", map[string]uint64{"dropped": dropped})
+		}
+		if n > 0 {
+			wire = wire[:0]
+			for _, e := range buf[:n] {
+				wire = append(wire, toWire(e))
+			}
+			send("batch", wire)
+		}
+		if st := run.State(); st != lastState {
+			lastState = st
+			send("run", run.Info())
+		}
+		if n > 0 || dropped > 0 {
+			flusher.Flush()
+		}
+		if !open {
+			send("done", run.Info())
+			flusher.Flush()
+			return
+		}
+		if n == sseBatch {
+			continue // ring still has a backlog; drain before waiting
+		}
+		select {
+		case <-sub.Ready():
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -360,6 +360,13 @@ func (e *Engine) Step() bool {
 // suspended frame.
 type stopper interface{ Stop() }
 
+// Finish tears down any still-suspended streams. External drivers of
+// Bind/Step (harness.ControlledRun) must call it when they stop stepping
+// before every stream is exhausted — normal exhaustion needs no teardown,
+// but an abnormal unwind (an audit-violation panic, an early stop) leaves
+// coroutine transports suspended. RunStreams calls it internally.
+func (e *Engine) Finish() { e.release() }
+
 // release tears down still-suspended streams after an abnormal unwind.
 func (e *Engine) release() {
 	for i, s := range e.streams {

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"commits":             "commits",
+		"commit-stall-cycles": "commit_stall_cycles",
+		"wpq.depth":           "wpq_depth",
+		"9lives":              "_9lives",
+		"a:b_c":               "a:b_c",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	snaps := []LabeledSnapshot{
+		{Metrics: []MetricValue{
+			{Name: "serve_runs_started", Kind: "counter", Value: 2},
+		}},
+		{
+			Labels: []Label{{Name: "run", Value: "1"}, {Name: "design", Value: `Si"lo`}},
+			Metrics: []MetricValue{
+				{Name: "commits", Kind: "counter", Value: 4000},
+				{Name: "wpq-depth", Kind: "gauge", Value: 3, Max: 9},
+				{Name: "commit-stall", Kind: "histogram", Value: 10, Max: 7, P50: 2, P99: 6.5, Mean: 2.25},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, "silo_", snaps); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE silo_commits counter\n",
+		`silo_commits{run="1",design="Si\"lo"} 4000` + "\n",
+		"# TYPE silo_wpq_depth gauge\n",
+		"# TYPE silo_wpq_depth_max gauge\n",
+		`silo_wpq_depth_max{run="1",design="Si\"lo"} 9` + "\n",
+		"# TYPE silo_commit_stall_count counter\n",
+		"# TYPE silo_commit_stall_p99 gauge\n",
+		`silo_commit_stall_p99{run="1",design="Si\"lo"} 6.5` + "\n",
+		`silo_commit_stall_mean{run="1",design="Si\"lo"} 2.25` + "\n",
+		"silo_serve_runs_started 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one # TYPE line per family.
+	if n := strings.Count(out, "# TYPE silo_commits "); n != 1 {
+		t.Errorf("silo_commits TYPE lines = %d, want 1", n)
+	}
+}
+
+// TestSnapshotExpositionByteStable is the determinism gate: two
+// registries fed the same readings in different insertion orders must
+// snapshot into the same sequence and render byte-identical exposition
+// text.
+func TestSnapshotExpositionByteStable(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			switch name {
+			case "commits":
+				r.Counter("commits").Add(42)
+			case "media-bytes":
+				r.Counter("media-bytes").Add(9000)
+			case "wpq-depth":
+				r.Gauge("wpq-depth").Set(7)
+			case "stall":
+				r.Histogram("stall").Observe(5)
+			}
+		}
+		return r
+	}
+	a := build([]string{"commits", "media-bytes", "wpq-depth", "stall"})
+	b := build([]string{"stall", "wpq-depth", "media-bytes", "commits"})
+
+	snapA, snapB := a.Snapshot(), b.Snapshot()
+	if len(snapA) != len(snapB) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(snapA), len(snapB))
+	}
+	for i := range snapA {
+		if snapA[i] != snapB[i] {
+			t.Fatalf("snapshot[%d] differs: %+v vs %+v", i, snapA[i], snapB[i])
+		}
+	}
+	// Name-sorted regardless of insertion order.
+	for i := 1; i < len(snapA); i++ {
+		if snapA[i-1].Name > snapA[i].Name {
+			t.Fatalf("snapshot not name-sorted: %q after %q", snapA[i].Name, snapA[i-1].Name)
+		}
+	}
+
+	var bufA, bufB bytes.Buffer
+	labels := []Label{{Name: "run", Value: "7"}}
+	if err := WriteMetrics(&bufA, "silo_", []LabeledSnapshot{{Labels: labels, Metrics: snapA}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(&bufB, "silo_", []LabeledSnapshot{{Labels: labels, Metrics: snapB}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("exposition not byte-stable:\n--- A ---\n%s--- B ---\n%s", bufA.String(), bufB.String())
+	}
+}

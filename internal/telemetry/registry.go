@@ -146,8 +146,11 @@ type MetricValue struct {
 	Mean  float64 `json:"mean,omitempty"` // histograms only
 }
 
-// Snapshot returns every instrument's current reading, sorted by kind
-// then name. Nil registries snapshot empty.
+// Snapshot returns every instrument's current reading, sorted by metric
+// name (then kind, for the pathological case of one name used as two
+// kinds). The ordering is deterministic so downstream expositions —
+// silo-sim's metrics dump, silo-serve's /metrics endpoint — are
+// byte-stable across identical runs. Nil registries snapshot empty.
 func (r *Registry) Snapshot() []MetricValue {
 	if r == nil {
 		return nil
@@ -169,10 +172,10 @@ func (r *Registry) Snapshot() []MetricValue {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
 		}
-		return out[i].Name < out[j].Name
+		return out[i].Kind < out[j].Kind
 	})
 	return out
 }

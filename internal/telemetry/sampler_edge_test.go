@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"silo/internal/sim"
+)
+
+// Satellite coverage: IntervalSampler edge cases — zero-length runs,
+// events exactly on window boundaries, and crash truncation mid-window.
+
+func TestIntervalSamplerZeroLengthRun(t *testing.T) {
+	s := NewIntervalSampler(100)
+	if ws := s.Windows(); len(ws) != 0 {
+		t.Fatalf("empty sampler has %d windows: %+v", len(ws), ws)
+	}
+	// The table still renders (header only).
+	if tbl := s.Table(); !strings.Contains(tbl, "window(cycles)") {
+		t.Fatalf("empty table lacks header:\n%s", tbl)
+	}
+}
+
+func TestIntervalSamplerWidthFloor(t *testing.T) {
+	s := NewIntervalSampler(0) // clamps to 1
+	r := NewRecorder(s)
+	r.TxCommit(0, 0, 1, 1, 8)
+	r.TxCommit(0, 1, 1, 1, 8)
+	ws := s.Windows()
+	if len(ws) != 2 || ws[0].End != 1 {
+		t.Fatalf("width-0 sampler windows = %+v", ws)
+	}
+}
+
+func TestIntervalSamplerBoundaryEventOpensNextWindow(t *testing.T) {
+	s := NewIntervalSampler(100)
+	r := NewRecorder(s)
+	r.TxCommit(0, 99, 1, 1, 8)  // last cycle of window 0
+	r.TxCommit(0, 100, 1, 1, 8) // exactly on the boundary: window 1
+	r.TxCommit(0, 200, 1, 1, 8) // exactly on the next boundary: window 2
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d: %+v", len(ws), ws)
+	}
+	for i, want := range []struct{ start, end, commits int64 }{
+		{0, 100, 1}, {100, 200, 1}, {200, 300, 1},
+	} {
+		w := ws[i]
+		if int64(w.Start) != want.start || int64(w.End) != want.end || w.Commits != want.commits {
+			t.Errorf("w%d = [%d,%d) commits=%d, want [%d,%d) commits=%d",
+				i, w.Start, w.End, w.Commits, want.start, want.end, want.commits)
+		}
+	}
+}
+
+func TestIntervalSamplerFirstEventMidWindowAligns(t *testing.T) {
+	// A run whose first probe lands mid-window must still produce an
+	// aligned grid: [200,300), not [250,350).
+	s := NewIntervalSampler(100)
+	r := NewRecorder(s)
+	r.TxCommit(0, 250, 1, 1, 8)
+	ws := s.Windows()
+	if len(ws) != 1 || ws[0].Start != 200 || ws[0].End != 300 {
+		t.Fatalf("windows = %+v, want one [200,300) window", ws)
+	}
+}
+
+func TestIntervalSamplerCrashTruncationMidWindow(t *testing.T) {
+	// A crash mid-window truncates the series: the in-progress tail is
+	// still reported (partial data is data), with everything after the
+	// crash absent rather than zero-filled to the horizon.
+	s := NewIntervalSampler(100)
+	r := NewRecorder(s)
+	for c := int64(0); c < 250; c += 10 {
+		r.TxCommit(0, sim.Cycle(c), 1, 1, 8)
+	}
+	r.Crash(249, 25, 25) // plug pulled at cycle 249
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d: %+v", len(ws), ws)
+	}
+	tail := ws[2]
+	if tail.Start != 200 || tail.End != 300 {
+		t.Fatalf("tail window = [%d,%d), want [200,300)", tail.Start, tail.End)
+	}
+	if tail.Commits != 5 {
+		t.Fatalf("tail commits = %d, want 5 (truncated at crash)", tail.Commits)
+	}
+	if ws[0].Commits != 10 || ws[1].Commits != 10 {
+		t.Fatalf("full windows = %d, %d commits, want 10, 10", ws[0].Commits, ws[1].Commits)
+	}
+}
+
+// Satellite coverage: ValidateChromeTrace error paths beyond the
+// basics — truncated arrays, malformed events, missing pid/tid — and
+// the success-path stats.
+
+func TestValidateChromeTraceMoreErrorPaths(t *testing.T) {
+	cases := map[string]string{
+		"empty input":       ``,
+		"not JSON":          `hello`,
+		"truncated array":   `[{"ph":"i","pid":1,"tid":0,"ts":1,"name":"x"}`,
+		"malformed event":   `[{"ph":]`,
+		"missing pid":       `[{"ph":"i","tid":0,"ts":1,"name":"x"}]`,
+		"missing tid":       `[{"ph":"i","pid":1,"ts":1,"name":"x"}]`,
+		"nested unbalanced": `[{"ph":"B","pid":1,"tid":0,"ts":1,"name":"a"},{"ph":"B","pid":1,"tid":0,"ts":2,"name":"b"},{"ph":"E","pid":1,"tid":0,"ts":3,"name":"b"}]`,
+		"non-monotone same track": `[{"ph":"B","pid":1,"tid":2,"ts":10,"name":"tx"},` +
+			`{"ph":"E","pid":1,"tid":2,"ts":9,"name":"tx"}]`,
+	}
+	for name, in := range cases {
+		if _, err := ValidateChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateChromeTraceStats(t *testing.T) {
+	in := `[
+		{"ph":"M","pid":1,"tid":0,"name":"process_name"},
+		{"ph":"B","pid":1,"tid":0,"ts":1,"name":"tx"},
+		{"ph":"E","pid":1,"tid":0,"ts":2,"name":"tx"},
+		{"ph":"C","pid":1,"tid":9,"ts":1,"name":"wpq","args":{"depth":3}},
+		{"ph":"C","pid":1,"tid":9,"ts":2,"name":"wpq","args":{"depth":4}},
+		{"ph":"i","pid":1,"tid":1,"ts":5,"name":"crash"}
+	]`
+	st, err := ValidateChromeTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if st.Events != 6 || st.Counters != 1 || st.Tracks != 3 {
+		t.Fatalf("stats = %+v, want 6 events, 1 counter, 3 tracks", st)
+	}
+	if st.ByPhase["C"] != 2 || st.ByPhase["M"] != 1 {
+		t.Fatalf("ByPhase = %+v", st.ByPhase)
+	}
+}
