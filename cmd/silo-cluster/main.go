@@ -61,8 +61,8 @@ func main() {
 		designs   = flag.String("designs", strings.Join(harness.DesignNames(), ","), "comma-separated designs for the sweep")
 		shrink    = flag.Bool("shrink", true, "shrink failing campaigns to minimal reproducers")
 		audit     = flag.Bool("audit", true, "runtime invariant auditor inside every node")
-		out       = flag.String("out", "", "append one JSON line per completed campaign to this file")
-		resume    = flag.String("resume", "", "JSONL file from a previous run; completed campaigns are not re-executed")
+		out       = flag.String("out", "", "record every completed campaign to this file (.srs = binary result store, else JSONL)")
+		resume    = flag.String("resume", "", "checkpoint from a previous run (.srs or JSONL); completed campaigns are not re-executed")
 		wall      = flag.Duration("wall", 2*time.Minute, "per-campaign wall-clock watchdog (0 disables)")
 		retries   = flag.Int("retries", 2, "retries for infra failures")
 		parallel  = flag.Int("parallel", 0, "concurrent campaigns (0 = GOMAXPROCS)")
@@ -331,12 +331,9 @@ func sweepMode(f sweepFlags) int {
 	}
 
 	if f.resume != "" {
-		rf, err := os.Open(f.resume)
-		if err != nil {
-			return fatal(err)
-		}
-		recs, err := harness.ReadRecords(rf)
-		rf.Close()
+		// Load before the sink opens: a .srs sink truncates the temp
+		// segment the resume records may live in.
+		recs, err := harness.LoadRecords(f.resume)
 		if err != nil {
 			return fatal(fmt.Errorf("reading %s: %w", f.resume, err))
 		}
@@ -344,15 +341,21 @@ func sweepMode(f sweepFlags) int {
 		fmt.Fprintf(os.Stderr, "silo-cluster: resuming, %d campaigns already done\n", len(recs))
 	}
 	if f.out != "" {
-		of, err := os.OpenFile(f.out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		sink, err := harness.OpenCheckpointSink(f.out)
 		if err != nil {
 			return fatal(err)
 		}
-		defer of.Close()
-		cfg.OnRecord = func(r harness.Record) {
-			if err := harness.WriteRecord(of, r); err != nil {
-				fmt.Fprintln(os.Stderr, "silo-cluster: writing record:", err)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-cluster: sealing checkpoint:", err)
 			}
+		}()
+		if err := sink.Seed(cfg.Resume); err != nil {
+			return fatal(err)
+		}
+		cfg.Sink = sink
+		cfg.OnSinkError = func(err error) {
+			fmt.Fprintln(os.Stderr, "silo-cluster: writing record:", err)
 		}
 	}
 

@@ -7,13 +7,28 @@
 //
 //	silo-report -txns 1250 -o report.md
 //
-// With -torture it instead summarizes a torture/cluster sweep's JSONL
-// checkpoint stream (as written by silo-torture/silo-cluster -out). The
-// loader is strict: an empty stream or a corrupt record mid-file is a
-// clear error and a nonzero exit; only a torn final line — an
-// interrupted writer — is tolerated, and called out:
+// With -torture it instead summarizes a torture/cluster sweep
+// checkpoint (as written by silo-torture/silo-cluster -out), JSONL or
+// binary .srs store by extension. The loader is strict: an empty
+// stream or a corrupt record mid-file is a clear error and a nonzero
+// exit; only an interrupted writer's artifact — a torn final JSONL
+// line, or a store's recoverable sealed prefix — is tolerated, and
+// called out:
 //
 //	silo-report -torture sweep.jsonl
+//	silo-report -torture sweep.srs
+//
+// A .srs store is opened read-only via mmap and summarized from its
+// fixed-size index rows alone; -design/-workload/-failed-only switch
+// to a query listing, still without deserializing any payload:
+//
+//	silo-report -torture sweep.srs -design Silo -failed-only
+//
+// -convert migrates an existing JSONL checkpoint into a store (the
+// output path is the positional argument, default the input with a
+// .srs extension); summaries over either format are byte-identical:
+//
+//	silo-report -convert sweep.jsonl sweep.srs
 package main
 
 import (
@@ -21,10 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"silo/internal/buildinfo"
 	"silo/internal/harness"
+	"silo/internal/resultstore"
 	"silo/internal/stats"
 )
 
@@ -33,14 +50,27 @@ func main() {
 		txns    = flag.Int("txns", 600, "transactions per core (grid) / total (others)")
 		seed    = flag.Int64("seed", 42, "simulation seed")
 		out     = flag.String("o", "", "output file (default stdout)")
-		torture = flag.String("torture", "", "summarize this torture/cluster JSONL checkpoint stream instead of running the suite")
+		torture = flag.String("torture", "", "summarize this torture/cluster checkpoint (.srs store or JSONL) instead of running the suite")
+		convert = flag.String("convert", "", "convert this JSONL checkpoint to a binary .srs store (output = positional arg, default input with .srs)")
+
+		design     = flag.String("design", "", "with -torture on a .srs store: list only campaigns of this design")
+		workload   = flag.String("workload", "", "with -torture on a .srs store: list only campaigns of this workload")
+		failedOnly = flag.Bool("failed-only", false, "with -torture on a .srs store: list only campaigns with a durability failure")
 	)
 	showVersion := buildinfo.Flag()
 	flag.Parse()
 	buildinfo.Handle("silo-report", showVersion)
 
+	if *convert != "" {
+		os.Exit(convertMode(*convert, flag.Arg(0)))
+	}
 	if *torture != "" {
-		os.Exit(tortureReport(*torture))
+		filter := resultstore.Filter{Design: *design, Workload: *workload, FailedOnly: *failedOnly}
+		os.Exit(tortureReport(*torture, filter))
+	}
+	if *design != "" || *workload != "" || *failedOnly {
+		fmt.Fprintln(os.Stderr, "silo-report: -design/-workload/-failed-only require -torture with a .srs store")
+		os.Exit(2)
 	}
 
 	var w io.Writer = os.Stdout
@@ -135,25 +165,104 @@ func main() {
 	fmt.Fprintln(w, "\n---\nAll tables regenerated from live simulation; see EXPERIMENTS.md for the paper-vs-measured analysis.")
 }
 
-// tortureReport summarizes a JSONL checkpoint stream. Exit codes: 0 a
-// readable stream with zero durability failures; 1 failures on record,
-// or the stream is unreadable (missing, empty, or corrupt mid-file).
-func tortureReport(path string) int {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "silo-report:", err)
-		return 1
+// tortureReport summarizes a checkpoint — JSONL stream or .srs binary
+// store by extension. Exit codes: 0 a readable checkpoint with zero
+// durability failures; 1 failures on record, or the checkpoint is
+// unreadable (missing, empty, or corrupt mid-file). A non-zero Filter
+// switches to the index-only query listing (stores only).
+func tortureReport(path string, filter resultstore.Filter) int {
+	if filter != (resultstore.Filter{}) {
+		return queryStore(path, filter)
 	}
-	defer f.Close()
-	s, err := harness.LoadCheckpoint(f)
+	s, err := harness.SummarizeCheckpoint(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "silo-report: %s: %v\n", path, err)
+		// Store-layer errors already name the file; only prefix the
+		// path for loaders (JSONL) whose errors don't.
+		msg := err.Error()
+		if !strings.Contains(msg, path) {
+			msg = path + ": " + msg
+		}
+		fmt.Fprintf(os.Stderr, "silo-report: %s\n", msg)
 		return 1
 	}
 	fmt.Print(s.String())
 	fmt.Print(s.Table().String())
 	if len(s.Failures) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// queryStore lists a store's campaigns matching the filter from the
+// fixed-size index rows alone — no payload is ever deserialized, so a
+// filtered listing over a 100k-campaign store touches only the mmap'd
+// index section. Exit codes: 0 listed (even zero matches); 1 the store
+// is unreadable; 2 the path is not a .srs store.
+func queryStore(path string, filter resultstore.Filter) int {
+	if !harness.IsStorePath(path) {
+		fmt.Fprintf(os.Stderr, "silo-report: %s: -design/-workload/-failed-only need a .srs store (convert JSONL first: silo-report -convert %s)\n", path, path)
+		return 2
+	}
+	st, err := resultstore.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-report:", err)
+		return 1
+	}
+	defer st.Close()
+	matched := 0
+	st.Scan(filter, func(_ int, r resultstore.Row) bool {
+		matched++
+		line := fmt.Sprintf("campaign %d: %s/%s seed=%d %s commits=%d attempts=%d",
+			r.Index, r.Design, r.Workload, r.Seed, r.Kind, r.Commits, r.Attempts)
+		if r.Kind == resultstore.KindMismatch {
+			line += fmt.Sprintf(" mismatches=%d invariant=%q", r.Mismatches, r.Invariant)
+		}
+		if r.HasTrace() {
+			line += " trace=embedded"
+		}
+		fmt.Println(line)
+		return true
+	})
+	var parts []string
+	if filter.Design != "" {
+		parts = append(parts, "design="+filter.Design)
+	}
+	if filter.Workload != "" {
+		parts = append(parts, "workload="+filter.Workload)
+	}
+	if filter.FailedOnly {
+		parts = append(parts, "failed-only")
+	}
+	fmt.Printf("%d/%d campaigns matched [%s]\n", matched, st.Count(), strings.Join(parts, " "))
+	return 0
+}
+
+// convertMode migrates a JSONL checkpoint to a binary store. The
+// output path defaults to the input with a .srs extension. Exit codes:
+// 0 converted; 1 the input is unreadable or the write failed; 2 bad
+// arguments.
+func convertMode(in, out string) int {
+	if out == "" {
+		out = strings.TrimSuffix(in, ".jsonl") + ".srs"
+	}
+	if !harness.IsStorePath(out) {
+		fmt.Fprintf(os.Stderr, "silo-report: -convert output %q must have a .srs extension\n", out)
+		return 2
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-report:", err)
+		return 1
+	}
+	defer f.Close()
+	n, tornTail, err := harness.ConvertJSONL(f, out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "silo-report: convert %s: %v\n", in, err)
+		return 1
+	}
+	fmt.Printf("converted %d campaigns: %s -> %s\n", n, in, out)
+	if tornTail {
+		fmt.Println("note: input ended in a torn partial record (interrupted writer); the torn tail was dropped and the store sealed complete")
 	}
 	return 0
 }

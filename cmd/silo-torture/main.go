@@ -13,6 +13,15 @@
 //	# ... SIGINT drains the fleet and prints the resume command ...
 //	silo-torture -seed 1 -campaigns 5000 -out sweep.jsonl -resume sweep.jsonl
 //
+// The checkpoint format follows the -out extension: .srs selects the
+// mmap-scannable binary result store (internal/resultstore; query it
+// with silo-report -torture), anything else the JSONL stream. A store
+// streams into <out>.tmp and is sealed + atomically renamed on exit;
+// a killed fleet leaves the temp segment, and -resume <out>.srs
+// recovers its sealed prefix byte-exactly. With -telemetry-dir set,
+// failing campaigns' Chrome traces are also embedded into the store,
+// compressed, next to their records.
+//
 // Repro mode (replay one schedule, e.g. from a failure's repro line):
 //
 //	silo-torture -designs Silo -workloads Hash -cores 2 -txns 48 \
@@ -60,8 +69,8 @@ func main() {
 		planStr   = flag.String("plan", "", "replay exactly this crash schedule instead of deriving one per campaign")
 
 		audit     = flag.Bool("audit", true, "runtime invariant auditor inside every campaign")
-		out       = flag.String("out", "", "append one JSON line per completed campaign to this file")
-		resume    = flag.String("resume", "", "JSONL file from a previous run; completed campaign indices are not re-executed")
+		out       = flag.String("out", "", "record every completed campaign to this file (.srs = binary result store, else JSONL)")
+		resume    = flag.String("resume", "", "checkpoint from a previous run (.srs or JSONL); completed campaign indices are not re-executed")
 		wall      = flag.Duration("wall", 2*time.Minute, "per-campaign wall-clock watchdog (0 disables)")
 		maxCycles = flag.Int64("maxcycles", 1<<31, "per-campaign sim-cycle watchdog (0 disables)")
 		retries   = flag.Int("retries", 2, "retries for infra failures (watchdog kills, host flakes)")
@@ -83,9 +92,22 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "silo-torture: pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
-	// exit flushes the profiles before terminating: os.Exit skips
-	// deferred functions, so every exit path below must go through it.
+	// exit seals the checkpoint sink and flushes the profiles before
+	// terminating: os.Exit skips deferred functions, so every exit path
+	// below must go through it. Sealing even on a drained interrupt
+	// means a .srs store is always published valid; only a hard kill
+	// leaves the (recoverable) temp segment.
+	var sink *harness.CheckpointSink
 	exit := func(code int) {
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-torture: sealing checkpoint:", err)
+				if code == 0 {
+					code = 2
+				}
+			}
+			sink = nil
+		}
 		prof.Stop()
 		os.Exit(code)
 	}
@@ -136,30 +158,29 @@ func main() {
 	}
 
 	if *resume != "" {
-		f, err := os.Open(*resume)
-		if err != nil {
-			fatal(err)
-		}
-		recs, err := harness.ReadRecords(f)
-		f.Close()
+		// Must happen before the sink opens: a store sink truncates the
+		// temp segment the resume records may live in.
+		recs, err := harness.LoadRecords(*resume)
 		if err != nil {
 			fatal(fmt.Errorf("reading %s: %w", *resume, err))
 		}
 		cfg.Resume = recs
 		fmt.Fprintf(os.Stderr, "silo-torture: resuming, %d campaigns already done\n", len(recs))
 	}
-	var outFile *os.File
 	if *out != "" {
-		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		s, err := harness.OpenCheckpointSink(*out)
 		if err != nil {
 			fatal(err)
 		}
-		outFile = f
-		defer outFile.Close()
-		cfg.OnRecord = func(r harness.Record) {
-			if err := harness.WriteRecord(outFile, r); err != nil {
-				fmt.Fprintln(os.Stderr, "silo-torture: writing record:", err)
-			}
+		sink = s
+		// A store re-emits resumed records so the sealed result is
+		// complete (JSONL keeps its history in the file; no-op there).
+		if err := sink.Seed(cfg.Resume); err != nil {
+			fatal(err)
+		}
+		cfg.Sink = sink
+		cfg.OnSinkError = func(err error) {
+			fmt.Fprintln(os.Stderr, "silo-torture: writing record:", err)
 		}
 	}
 
@@ -181,6 +202,23 @@ func main() {
 	res, err := harness.Torture(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if sink != nil {
+		// Failing campaigns re-ran with telemetry (when -telemetry-dir
+		// is set); embed those traces into the store, compressed, next
+		// to their records.
+		for _, f := range res.Failures {
+			if f.TracePath == "" {
+				continue
+			}
+			blob, err := os.ReadFile(f.TracePath)
+			if err == nil {
+				err = sink.AttachTrace(f.Outcome.Campaign.Index, blob)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "silo-torture: embedding trace:", err)
+			}
+		}
 	}
 	fmt.Print(res.Summary())
 	switch {

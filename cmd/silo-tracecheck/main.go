@@ -5,21 +5,30 @@
 // that produces an unloadable timeline fails the build instead of being
 // discovered inside Perfetto weeks later.
 //
+// A .srs argument is a binary result store (silo-torture -out sweep.srs):
+// it is opened read-only via mmap, the index is scanned for campaigns
+// with an embedded trace blob, and each blob is decompressed and
+// validated — no payload record is ever deserialized.
+//
 // Usage:
 //
 //	silo-tracecheck trace.json [more.json ...]
+//	silo-tracecheck sweep.srs
 //	silo-sim -telemetry /dev/stdout ... | silo-tracecheck -
 //
 // Exit status: 0 when every file validates, 1 otherwise.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"silo/internal/buildinfo"
+	"silo/internal/harness"
+	"silo/internal/resultstore"
 	"silo/internal/telemetry"
 )
 
@@ -37,6 +46,12 @@ func main() {
 	}
 	ok := true
 	for _, path := range flag.Args() {
+		if path != "-" && harness.IsStorePath(path) {
+			if !checkStore(path) {
+				ok = false
+			}
+			continue
+		}
 		var r io.Reader
 		name := path
 		if path == "-" {
@@ -64,4 +79,42 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// checkStore validates every trace blob embedded in a binary result
+// store. The index scan finds the campaigns with traces; only those
+// blobs are decompressed — payload records stay untouched.
+func checkStore(path string) bool {
+	st, err := resultstore.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-tracecheck:", err)
+		return false
+	}
+	defer st.Close()
+	ok, traced := true, 0
+	st.Scan(resultstore.Filter{}, func(i int, r resultstore.Row) bool {
+		if !r.HasTrace() {
+			return true
+		}
+		traced++
+		blob, err := st.Trace(i)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silo-tracecheck: %s: campaign %d: INVALID: %v\n", path, r.Index, err)
+			ok = false
+			return true
+		}
+		stt, err := telemetry.ValidateChromeTrace(bytes.NewReader(blob))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silo-tracecheck: %s: campaign %d: INVALID: %v\n", path, r.Index, err)
+			ok = false
+			return true
+		}
+		fmt.Printf("%s: campaign %d (%s/%s): OK — %d events, %d tracks, %d counter series\n",
+			path, r.Index, r.Design, r.Workload, stt.Events, stt.Tracks, stt.Counters)
+		return true
+	})
+	if traced == 0 {
+		fmt.Printf("%s: no embedded traces (%d campaigns)\n", path, st.Count())
+	}
+	return ok
 }

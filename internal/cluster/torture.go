@@ -186,7 +186,11 @@ type TortureConfig struct {
 
 	Resume   map[int]harness.Record
 	OnRecord func(harness.Record)
-	Stop     <-chan struct{}
+	// Sink/OnSinkError are the two-phase checkpoint sink (see
+	// harness.TortureConfig): encoding runs off the emit lock.
+	Sink        harness.RecordSink
+	OnSinkError func(error)
+	Stop        <-chan struct{}
 }
 
 // Torture runs the cluster campaign sweep on the hardened fleet.
@@ -212,6 +216,8 @@ func Torture(cfg TortureConfig) (harness.TortureResult, error) {
 		Backoff:       cfg.Backoff,
 		Resume:        cfg.Resume,
 		OnRecord:      cfg.OnRecord,
+		Sink:          cfg.Sink,
+		OnSinkError:   cfg.OnSinkError,
 		Stop:          cfg.Stop,
 		Run:           RunCampaign,
 	}

@@ -1,0 +1,559 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"silo/internal/resultstore"
+)
+
+// RecordSink is the fleet's two-phase checkpoint sink. Encode is
+// called on the completing campaign's goroutine — concurrently, with
+// no lock held — and must be pure; Write is called under the fleet's
+// emit lock, strictly serialized, in completion order.
+type RecordSink interface {
+	Encode(Record) ([]byte, error)
+	Write(Record, []byte) error
+}
+
+// NewJSONLSink streams records to w as JSON lines, marshaling outside
+// the emit lock (w sees exactly the bytes WriteRecord would produce).
+func NewJSONLSink(w io.Writer) RecordSink { return jsonlSink{w} }
+
+type jsonlSink struct{ w io.Writer }
+
+func (s jsonlSink) Encode(r Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s jsonlSink) Write(_ Record, enc []byte) error {
+	_, err := s.w.Write(enc)
+	return err
+}
+
+// IsStorePath reports whether path selects the binary result store
+// (by .srs extension) rather than the JSONL stream.
+func IsStorePath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".srs")
+}
+
+// RowFromRecord projects a record onto its fixed-size index row. The
+// row carries everything filtering and aggregation need; full fidelity
+// (mismatch strings, plan, trail, repro) stays in the JSON payload.
+func RowFromRecord(r Record) resultstore.Row {
+	row := resultstore.Row{
+		Index:      int64(r.Index),
+		Seed:       r.Seed,
+		Commits:    r.Commits,
+		Torn:       r.Torn,
+		Dropped:    r.Dropped,
+		Restarts:   uint32(r.Restarts),
+		Mismatches: uint32(len(r.Mismatches)),
+		Design:     r.Design,
+		Workload:   r.Workload,
+		Invariant:  r.Invariant,
+		Attempts:   uint16(r.Attempts),
+		MidRun:     r.MidRun,
+		Panicked:   r.Panicked,
+		TimedOut:   r.TimedOut,
+		Infra:      r.Infra,
+		Complete:   r.Report.Complete,
+
+		CommittedTx:   uint32(r.Report.CommittedTx),
+		RedoApplied:   uint32(r.Report.RedoApplied),
+		UndoApplied:   uint32(r.Report.UndoApplied),
+		Discarded:     uint32(r.Report.Discarded),
+		Quarantined:   uint32(r.Report.Quarantined),
+		TotalRecords:  uint32(r.Report.TotalRecords),
+		AppliedWrites: uint32(r.Report.AppliedWrites),
+	}
+	switch {
+	case r.Infra:
+		row.Kind = resultstore.KindInfra
+	case r.Err != "":
+		row.Kind = resultstore.KindError
+	case len(r.Mismatches) > 0:
+		row.Kind = resultstore.KindMismatch
+	default:
+		row.Kind = resultstore.KindOK
+	}
+	if a := r.Avail; a != nil {
+		row.HasAvail = true
+		row.Replicas = uint16(a.Replicas)
+		row.Mode = a.Mode
+		row.Windows = uint32(a.Windows)
+		row.Strikes = uint32(a.Strikes)
+		row.DetectSum = a.DetectSum
+		row.PromoteSum = a.PromoteSum
+		row.ResyncSum = a.ResyncSum
+		row.WidthSum = a.WidthSum
+		row.WidthMax = a.WidthMax
+		row.OwnerSum = a.OwnerSum
+		row.OwnerMax = a.OwnerMax
+		row.AckedLost = a.AckedLost
+	}
+	return row
+}
+
+// availFromRow reconstructs the availability summary an index row
+// carries (nil when the record had none).
+func availFromRow(r resultstore.Row) *AvailSummary {
+	if !r.HasAvail {
+		return nil
+	}
+	return &AvailSummary{
+		Replicas:   int(r.Replicas),
+		Mode:       r.Mode,
+		Windows:    int(r.Windows),
+		Strikes:    int(r.Strikes),
+		DetectSum:  r.DetectSum,
+		PromoteSum: r.PromoteSum,
+		ResyncSum:  r.ResyncSum,
+		WidthSum:   r.WidthSum,
+		WidthMax:   r.WidthMax,
+		OwnerSum:   r.OwnerSum,
+		OwnerMax:   r.OwnerMax,
+		AckedLost:  r.AckedLost,
+	}
+}
+
+// CheckpointSink is the file-backed RecordSink behind -out: a JSONL
+// appender or an SRS1 store writer, selected by extension. Store
+// output streams into <path>.tmp and is published by Close (sealed
+// footer + atomic rename); a killed fleet leaves the temp segment,
+// whose sealed prefix LoadRecords recovers on resume.
+type CheckpointSink struct {
+	path  string
+	file  *os.File            // JSONL mode
+	store *resultstore.Writer // store mode
+
+	// Store writes flush to disk every flushEvery records so a killed
+	// fleet loses a bounded suffix, not its whole run: the byte
+	// threshold inside the writer alone could buffer a small sweep
+	// entirely. One flush is one write syscall, so the write path still
+	// amortizes to ~1/64 of JSONL's syscall rate.
+	written    int
+	flushEvery int
+}
+
+// storeFlushEvery is the durability cadence for store sinks.
+const storeFlushEvery = 64
+
+// OpenCheckpointSink opens the checkpoint stream at path, selecting
+// the format by extension (.srs → binary store, anything else →
+// append-mode JSONL).
+func OpenCheckpointSink(path string) (*CheckpointSink, error) {
+	if IsStorePath(path) {
+		w, err := resultstore.NewWriter(path)
+		if err != nil {
+			return nil, err
+		}
+		return &CheckpointSink{path: path, store: w, flushEvery: storeFlushEvery}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointSink{path: path, file: f}, nil
+}
+
+// Encode marshals the record once, outside the emit lock; both
+// formats use the same JSON bytes (the store appends them as the
+// payload, so a store round-trips records byte-exactly).
+func (s *CheckpointSink) Encode(r Record) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// Write appends one encoded record (serialized by the fleet).
+func (s *CheckpointSink) Write(r Record, enc []byte) error {
+	if s.store != nil {
+		if err := s.store.Append(RowFromRecord(r), enc); err != nil {
+			return err
+		}
+		s.written++
+		if s.flushEvery > 0 && s.written%s.flushEvery == 0 {
+			return s.store.Flush()
+		}
+		return nil
+	}
+	_, err := s.file.Write(append(enc, '\n'))
+	return err
+}
+
+// Seed pre-populates a store with resumed records in campaign order,
+// so the sealed result is complete even though the fleet will not
+// re-emit them. JSONL streams keep their history in the file itself,
+// so seeding is a no-op there.
+func (s *CheckpointSink) Seed(recs map[int]Record) error {
+	if s.store == nil || len(recs) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(recs))
+	for i := range recs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		enc, err := s.Encode(recs[i])
+		if err != nil {
+			return err
+		}
+		if err := s.Write(recs[i], enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachTrace embeds a recorded Chrome trace into the store for the
+// campaign (no-op for JSONL, where traces stay separate files).
+func (s *CheckpointSink) AttachTrace(index int, blob []byte) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.AttachTrace(int64(index), blob)
+}
+
+// Close publishes the stream: Seal+rename for a store, plain close
+// for JSONL. Safe to call once.
+func (s *CheckpointSink) Close() error {
+	if s.store != nil {
+		return s.store.Seal()
+	}
+	return s.file.Close()
+}
+
+// decodeStoreRecord parses one store payload back into a Record.
+func decodeStoreRecord(payload []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("%w: payload is not a record: %v", resultstore.ErrCorrupt, err)
+	}
+	return rec, nil
+}
+
+// storeAllRecords reads every record of a sealed store in append
+// order (duplicates preserved).
+func storeAllRecords(st *resultstore.Store) ([]Record, error) {
+	recs := make([]Record, 0, st.Count())
+	for i := 0; i < st.Count(); i++ {
+		p, err := st.Payload(i)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := decodeStoreRecord(p)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// applyResumeSemantics folds records into the resume map with
+// ReadRecords' rules: later records supersede earlier ones, and
+// infra-failed records are dropped so the fleet retries them.
+func applyResumeSemantics(out map[int]Record, recs []Record) {
+	for _, rec := range recs {
+		if rec.Infra {
+			delete(out, rec.Index)
+			continue
+		}
+		out[rec.Index] = rec
+	}
+}
+
+// LoadRecords reads a checkpoint for resume, selecting the reader by
+// extension. For stores it accepts every artifact an interrupted
+// fleet can leave behind: a sealed store at path, an unsealed temp
+// segment at path (pointed at directly), and a newer temp segment at
+// path.tmp layered over the sealed store it was rewriting. The
+// recovered records are byte-exactly what the writer sealed.
+func LoadRecords(path string) (map[int]Record, error) {
+	if !IsStorePath(path) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadRecords(f)
+	}
+	out := make(map[int]Record)
+	found := false
+	st, err := resultstore.Open(path)
+	switch {
+	case err == nil:
+		recs, rerr := storeAllRecords(st)
+		st.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("%s: %w", path, rerr)
+		}
+		applyResumeSemantics(out, recs)
+		found = true
+	case errors.Is(err, resultstore.ErrCorrupt):
+		// Unsealed or damaged: recover the sealed chunk prefix.
+		payloads, rerr := resultstore.Recover(path)
+		if rerr != nil {
+			return nil, fmt.Errorf("%s: %w", path, rerr)
+		}
+		if err := applyPayloads(out, payloads); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		found = true
+	case !os.IsNotExist(err):
+		return nil, err
+	}
+	// A temp segment is always newer than the sealed store it was
+	// rewriting (resume seeds the old records first), so it layers on
+	// top.
+	if payloads, rerr := resultstore.Recover(path + ".tmp"); rerr == nil {
+		if err := applyPayloads(out, payloads); err != nil {
+			return nil, fmt.Errorf("%s.tmp: %w", path, err)
+		}
+		found = true
+	} else if !os.IsNotExist(rerr) && !errors.Is(rerr, resultstore.ErrCorrupt) {
+		return nil, fmt.Errorf("%s.tmp: %w", path, rerr)
+	}
+	if !found {
+		return nil, fmt.Errorf("%s: no store and no recoverable temp segment: %w", path, os.ErrNotExist)
+	}
+	return out, nil
+}
+
+func applyPayloads(out map[int]Record, payloads [][]byte) error {
+	for _, p := range payloads {
+		rec, err := decodeStoreRecord(p)
+		if err != nil {
+			return err
+		}
+		if rec.Infra {
+			delete(out, rec.Index)
+			continue
+		}
+		out[rec.Index] = rec
+	}
+	return nil
+}
+
+// SummarizeCheckpoint summarizes a checkpoint at path for reporting,
+// dispatching by extension: LoadCheckpoint for JSONL, SummarizeStore
+// for SRS1 stores.
+func SummarizeCheckpoint(path string) (*CheckpointSummary, error) {
+	if !IsStorePath(path) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return LoadCheckpoint(f)
+	}
+	return SummarizeStore(path)
+}
+
+// SummarizeStore aggregates a store by scanning only its fixed-size
+// index rows — no payload is deserialized except for the (rare)
+// failed campaigns, whose mismatch strings and repro lines the report
+// prints. This is the mmap fast path: a 100k-campaign summary is an
+// index scan, not 100k JSON parses. An unsealed or damaged store is
+// summarized from its recovered sealed prefix and flagged TornTail,
+// mirroring the JSONL interrupted-writer semantics.
+func SummarizeStore(path string) (*CheckpointSummary, error) {
+	st, err := resultstore.Open(path)
+	if err != nil {
+		if errors.Is(err, resultstore.ErrCorrupt) {
+			return summarizeRecovered(path, err)
+		}
+		if os.IsNotExist(err) {
+			// A fleet killed before its first Seal leaves only the temp
+			// segment; summarize its sealed prefix.
+			if _, terr := os.Stat(path + ".tmp"); terr == nil {
+				return summarizeRecovered(path+".tmp", err)
+			}
+		}
+		return nil, err
+	}
+	defer st.Close()
+	if st.Count() == 0 {
+		return nil, errors.New("checkpoint: no records (empty store); was the sweep run with -out?")
+	}
+	s := &CheckpointSummary{Designs: make(map[string]int), Avail: make(map[string]*AvailSummary)}
+	s.Records = st.Count()
+	latest := make(map[int64]int)
+	var order []int64
+	for i := 0; i < st.Count(); i++ {
+		idx := st.Row(i).Index
+		if _, seen := latest[idx]; !seen {
+			order = append(order, idx)
+		}
+		latest[idx] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	s.Campaigns = len(order)
+	for _, idx := range order {
+		row := st.Row(latest[idx])
+		s.Designs[row.Design]++
+		if row.Infra {
+			s.Infra++
+			continue
+		}
+		if row.Failed() {
+			p, err := st.Payload(latest[idx])
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			rec, err := decodeStoreRecord(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			s.Failures = append(s.Failures, rec)
+			continue
+		}
+		if row.MidRun {
+			s.MidRun++
+		}
+		s.Commits += row.Commits
+		s.Torn += row.Torn
+		s.Dropped += row.Dropped
+		s.Restarts += int(row.Restarts)
+		mergeAvail(s.Avail, availFromRow(row))
+	}
+	return s, nil
+}
+
+// summarizeRecovered summarizes the sealed prefix of an unsealed or
+// damaged store the way LoadCheckpoint treats a torn JSONL tail.
+func summarizeRecovered(path string, openErr error) (*CheckpointSummary, error) {
+	payloads, err := resultstore.Recover(path)
+	if err != nil {
+		// openErr came from Open/Stat and already names the file.
+		return nil, openErr
+	}
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("%s: unsealed store with no recoverable records (writer died before the first chunk flush); re-run or resume the sweep", path)
+	}
+	recs := make([]Record, 0, len(payloads))
+	for _, p := range payloads {
+		rec, derr := decodeStoreRecord(p)
+		if derr != nil {
+			return nil, fmt.Errorf("%s: %w", path, derr)
+		}
+		recs = append(recs, rec)
+	}
+	s := summarizeRecords(recs)
+	s.TornTail = true
+	return s, nil
+}
+
+// summarizeRecords aggregates in-memory records with LoadCheckpoint's
+// exact rules (shared by the recovered-store path).
+func summarizeRecords(recs []Record) *CheckpointSummary {
+	s := &CheckpointSummary{Designs: make(map[string]int), Avail: make(map[string]*AvailSummary)}
+	latest := make(map[int]Record)
+	var order []int
+	for _, rec := range recs {
+		s.Records++
+		if _, seen := latest[rec.Index]; !seen {
+			order = append(order, rec.Index)
+		}
+		latest[rec.Index] = rec
+	}
+	sort.Ints(order)
+	s.Campaigns = len(order)
+	for _, idx := range order {
+		rec := latest[idx]
+		s.Designs[rec.Design]++
+		if rec.Infra {
+			s.Infra++
+			continue
+		}
+		if rec.Err != "" || len(rec.Mismatches) > 0 {
+			s.Failures = append(s.Failures, rec)
+			continue
+		}
+		if rec.MidRun {
+			s.MidRun++
+		}
+		s.Commits += rec.Commits
+		s.Torn += rec.Torn
+		s.Dropped += rec.Dropped
+		s.Restarts += rec.Restarts
+		mergeAvail(s.Avail, rec.Avail)
+	}
+	return s
+}
+
+// ConvertJSONL migrates a JSONL checkpoint stream into a sealed store
+// at outPath, preserving the full record history — duplicates,
+// infra records and order included — so summaries over either format
+// are byte-identical. The parse is LoadCheckpoint-strict: corruption
+// mid-stream fails the conversion, a torn final line (interrupted
+// writer) is tolerated and reported. Returns the records written and
+// whether a torn tail was dropped.
+func ConvertJSONL(r io.Reader, outPath string) (records int, tornTail bool, err error) {
+	if !IsStorePath(outPath) {
+		return 0, false, fmt.Errorf("convert: output %q must be a .srs store", outPath)
+	}
+	w, err := resultstore.NewWriter(outPath)
+	if err != nil {
+		return 0, false, err
+	}
+	abort := func(e error) (int, bool, error) {
+		w.Abort()
+		return 0, false, e
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	lineNo, badLine := 0, 0
+	var badErr error
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if badErr != nil {
+			return abort(fmt.Errorf("convert: line %d: %w (corrupt record mid-stream; the file is damaged, not merely interrupted)", badLine, badErr))
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			badLine, badErr = lineNo, err
+			continue
+		}
+		// Re-marshal rather than copying the line: the store payload is
+		// canonically json.Marshal(rec), which keeps store payloads
+		// byte-identical whether written by a fleet or by conversion.
+		enc, err := json.Marshal(rec)
+		if err != nil {
+			return abort(err)
+		}
+		if err := w.Append(RowFromRecord(rec), enc); err != nil {
+			return abort(err)
+		}
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return abort(fmt.Errorf("convert: reading stream: %w", err))
+	}
+	if records == 0 {
+		if badErr != nil {
+			return abort(errors.New("convert: stream holds only a torn partial record (writer died mid-first-write); re-run the sweep"))
+		}
+		return abort(errors.New("convert: no records (empty stream); was the sweep run with -out?"))
+	}
+	if err := w.Seal(); err != nil {
+		return 0, false, err
+	}
+	return records, badErr != nil, nil
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"silo/internal/recovery"
+)
+
+// BenchmarkFleetEmit measures the fleet's record-emit path end to end
+// with an instant executor, so the sink serialization (and the emit
+// lock around it) dominates. The two-phase RecordSink moved the JSON
+// marshal outside that lock; with 8 workers the serialized section is
+// now just the buffered write.
+func BenchmarkFleetEmit(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		sink func(b *testing.B) RecordSink
+	}{
+		{"nosink", func(*testing.B) RecordSink { return nil }},
+		{"jsonl", func(*testing.B) RecordSink { return NewJSONLSink(io.Discard) }},
+		{"store", func(b *testing.B) RecordSink {
+			sink, err := OpenCheckpointSink(filepath.Join(b.TempDir(), "bench.srs"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { sink.Close() })
+			return sink
+		}},
+		{"jsonl-locked", func(*testing.B) RecordSink {
+			// The pre-refactor shape: marshal under the lock.
+			return lockedMarshalSink{w: io.Discard}
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := fleetConfig(b.N, benchEmitRun)
+			cfg.Parallel = 8
+			if s := bc.sink(b); s != nil {
+				cfg.Sink = s
+				cfg.OnSinkError = func(err error) { b.Error(err) }
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := Torture(cfg); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func benchEmitRun(c Campaign) CampaignOutcome {
+	return CampaignOutcome{
+		Campaign: c, MidRun: true, Commits: 398, Torn: 1,
+		Report: recovery.Report{CommittedTx: 398, RedoApplied: 12, Complete: true},
+	}
+}
+
+// lockedMarshalSink mimics the old single-phase emit: Encode is a
+// no-op, so the marshal runs inside Write — under the fleet's lock.
+type lockedMarshalSink struct {
+	w io.Writer
+}
+
+func (s lockedMarshalSink) Encode(Record) ([]byte, error) { return nil, nil }
+func (s lockedMarshalSink) Write(r Record, _ []byte) error {
+	enc, err := NewJSONLSink(s.w).Encode(r)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(enc)
+	return err
+}
+
+// benchCheckpoint writes an n-record checkpoint in both formats once
+// per benchmark binary and returns the two paths.
+var benchCheckpoint = struct {
+	once         sync.Once
+	jsonl, store string
+	err          error
+}{}
+
+func benchCheckpointPaths(b *testing.B, n int) (jsonl, store string) {
+	b.Helper()
+	benchCheckpoint.once.Do(func() {
+		dir, err := os.MkdirTemp("", "silo-bench-ckpt")
+		if err != nil {
+			benchCheckpoint.err = err
+			return
+		}
+		benchCheckpoint.jsonl = filepath.Join(dir, "sweep.jsonl")
+		benchCheckpoint.store = filepath.Join(dir, "sweep.srs")
+		js, err := OpenCheckpointSink(benchCheckpoint.jsonl)
+		if err != nil {
+			benchCheckpoint.err = err
+			return
+		}
+		ss, err := OpenCheckpointSink(benchCheckpoint.store)
+		if err != nil {
+			benchCheckpoint.err = err
+			return
+		}
+		for i := 0; i < n; i++ {
+			r := Record{
+				Index: i, Design: "Silo", Workload: "Btree", Cores: 4, Txns: 400,
+				OpsPerTx: 8, Seed: int64(1000 + i), Plan: "crash@1743/tear2",
+				Repro:  fmt.Sprintf("go run ./cmd/silo-torture -campaigns 1 -offset %d", i),
+				MidRun: true, Commits: 398, Torn: 1, Restarts: 1, Attempts: 1,
+				Report: recovery.Report{CommittedTx: 398, RedoApplied: 12, UndoApplied: 3, TotalRecords: 415, AppliedWrites: 3104, Complete: true},
+			}
+			for _, s := range []*CheckpointSink{js, ss} {
+				enc, err := s.Encode(r)
+				if err != nil {
+					benchCheckpoint.err = err
+					return
+				}
+				if err := s.Write(r, enc); err != nil {
+					benchCheckpoint.err = err
+					return
+				}
+			}
+		}
+		if err := js.Close(); err != nil {
+			benchCheckpoint.err = err
+		}
+		if err := ss.Close(); err != nil {
+			benchCheckpoint.err = err
+		}
+	})
+	if benchCheckpoint.err != nil {
+		b.Fatal(benchCheckpoint.err)
+	}
+	return benchCheckpoint.jsonl, benchCheckpoint.store
+}
+
+const benchCampaigns = 100_000
+
+// BenchmarkSummarizeJSONL is the baseline: summarizing a 100k-campaign
+// JSONL checkpoint parses every record.
+func BenchmarkSummarizeJSONL(b *testing.B) {
+	jsonl, _ := benchCheckpointPaths(b, benchCampaigns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := SummarizeCheckpoint(jsonl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Campaigns != benchCampaigns {
+			b.Fatal("bad summary")
+		}
+	}
+}
+
+// BenchmarkSummarizeStore is the acceptance path: the same summary
+// from the store's mmap'd index alone.
+func BenchmarkSummarizeStore(b *testing.B) {
+	_, store := benchCheckpointPaths(b, benchCampaigns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := SummarizeCheckpoint(store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Campaigns != benchCampaigns {
+			b.Fatal("bad summary")
+		}
+	}
+}

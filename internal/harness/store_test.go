@@ -1,0 +1,417 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"silo/internal/recovery"
+)
+
+// storeSweepRun is a synthetic executor producing every record shape
+// the store must carry: clean campaigns with aggregates, mid-run
+// crashes, golden-shadow mismatches, run errors, exhausted infra, and
+// cluster-style availability summaries.
+func storeSweepRun(c Campaign) CampaignOutcome {
+	out := CampaignOutcome{Campaign: c}
+	switch c.Index % 8 {
+	case 3:
+		out.Mismatches = []string{fmt.Sprintf("addr %d want 1 got 2", c.Index)}
+		out.Invariant = "golden-shadow"
+	case 5:
+		out.Err = fmt.Errorf("synthetic run error %d", c.Index)
+	case 6:
+		out.Err = InfraError{Err: errors.New("synthetic host wobble")}
+		out.Infra = true
+	default:
+		out.MidRun = c.Index%2 == 0
+		out.Commits = int64(100 + c.Index)
+		out.Torn = int64(c.Index % 3)
+		out.Dropped = int64(c.Index % 2)
+		out.Restarts = c.Index % 2
+		out.Report = recovery.Report{CommittedTx: 100 + c.Index, RedoApplied: c.Index, Complete: true}
+		if c.Index%4 == 0 {
+			out.Avail = &AvailSummary{
+				Replicas: 3, Mode: "sync", Windows: 2, Strikes: 1,
+				DetectSum: int64(c.Index) * 11, PromoteSum: 7, WidthSum: 31,
+				WidthMax: 19, OwnerSum: 13, OwnerMax: 13,
+			}
+		}
+	}
+	return out
+}
+
+// sweepToPath runs the synthetic sweep with a CheckpointSink at path
+// (format by extension) and returns the fleet's emitted records in
+// completion order.
+func sweepToPath(t *testing.T, path string, campaigns int) []Record {
+	t.Helper()
+	sink, err := OpenCheckpointSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var recs []Record
+	cfg := fleetConfig(campaigns, storeSweepRun)
+	cfg.Retries = -1 // synthetic infra failures are deterministic; don't retry
+	cfg.Sink = sink
+	cfg.OnSinkError = func(err error) { t.Error("sink error:", err) }
+	cfg.OnRecord = func(r Record) {
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+	}
+	if _, err := Torture(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestStoreSweepSummaryByteIdentical runs the same synthetic sweep
+// into a JSONL stream and a binary store and demands the rendered
+// summaries agree byte for byte.
+func TestStoreSweepSummaryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "sweep.jsonl")
+	storePath := filepath.Join(dir, "sweep.srs")
+	sweepToPath(t, jsonlPath, 24)
+	sweepToPath(t, storePath, 24)
+
+	js, err := SummarizeCheckpoint(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := SummarizeCheckpoint(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.String() != ss.String() {
+		t.Errorf("summaries differ:\n--- jsonl ---\n%s--- store ---\n%s", js.String(), ss.String())
+	}
+	if js.Table().String() != ss.Table().String() {
+		t.Errorf("tables differ:\n--- jsonl ---\n%s--- store ---\n%s", js.Table().String(), ss.Table().String())
+	}
+}
+
+// TestLoadRecordsStoreMatchesJSONL demands resume state is identical
+// whichever format the checkpoint was written in.
+func TestLoadRecordsStoreMatchesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "sweep.jsonl")
+	storePath := filepath.Join(dir, "sweep.srs")
+	sweepToPath(t, jsonlPath, 20)
+	sweepToPath(t, storePath, 20)
+
+	fromJSONL, err := LoadRecords(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := LoadRecords(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSONL, fromStore) {
+		t.Errorf("resume maps differ: jsonl %d records, store %d records", len(fromJSONL), len(fromStore))
+	}
+	// Infra campaigns (index%8 == 6) must be absent so the fleet
+	// retries them.
+	for idx := range fromStore {
+		if idx%8 == 6 {
+			t.Errorf("infra campaign %d survived into the resume map", idx)
+		}
+	}
+}
+
+// TestConvertJSONLByteIdenticalSummaries is the migration guarantee:
+// converting a JSONL checkpoint to a store preserves the summary
+// byte-exactly — records, duplicates, infra and order included.
+func TestConvertJSONLByteIdenticalSummaries(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "sweep.jsonl")
+	storePath := filepath.Join(dir, "converted.srs")
+	sweepToPath(t, jsonlPath, 32)
+
+	raw, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, tornTail, err := ConvertJSONL(bytes.NewReader(raw), storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tornTail {
+		t.Error("clean stream reported a torn tail")
+	}
+	if n != 32 {
+		t.Errorf("converted %d records, want 32", n)
+	}
+
+	js, err := SummarizeCheckpoint(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := SummarizeCheckpoint(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.String() != ss.String() {
+		t.Errorf("converted summary differs:\n--- jsonl ---\n%s--- store ---\n%s", js.String(), ss.String())
+	}
+	if js.Table().String() != ss.Table().String() {
+		t.Errorf("converted table differs")
+	}
+	// And the resume view agrees too.
+	fromJSONL, err := LoadRecords(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := LoadRecords(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSONL, fromStore) {
+		t.Error("converted resume map differs from the JSONL original")
+	}
+}
+
+func TestConvertJSONLTornTailTolerated(t *testing.T) {
+	body := validLine(0, "") + validLine(1, "") + `{"index":2,"design":"Si`
+	out := filepath.Join(t.TempDir(), "out.srs")
+	n, tornTail, err := ConvertJSONL(strings.NewReader(body), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || !tornTail {
+		t.Fatalf("n=%d tornTail=%v, want 2/true", n, tornTail)
+	}
+	s, err := SummarizeCheckpoint(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Campaigns != 2 || s.TornTail {
+		t.Errorf("campaigns=%d torntail=%v, want 2/false (the store sealed complete)", s.Campaigns, s.TornTail)
+	}
+}
+
+func TestConvertJSONLRejectsMidStreamCorruption(t *testing.T) {
+	body := validLine(0, "") + "GARBAGE NOT JSON\n" + validLine(1, "")
+	out := filepath.Join(t.TempDir(), "out.srs")
+	if _, _, err := ConvertJSONL(strings.NewReader(body), out); err == nil {
+		t.Fatal("mid-stream corruption must fail the conversion")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("failed conversion left a store behind")
+	}
+	if _, err := os.Stat(out + ".tmp"); !os.IsNotExist(err) {
+		t.Error("failed conversion left a temp segment behind")
+	}
+}
+
+func TestConvertJSONLRejectsEmptyStream(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.srs")
+	if _, _, err := ConvertJSONL(strings.NewReader(""), out); err == nil {
+		t.Fatal("empty stream must fail the conversion")
+	}
+}
+
+// TestStoreInterruptedWriterResume is the crash-recovery round trip:
+// a fleet killed mid-sweep leaves an unsealed temp segment; resume
+// recovers its sealed prefix byte-exactly, re-runs the rest, and the
+// final summary is byte-identical to an uninterrupted sweep's.
+func TestStoreInterruptedWriterResume(t *testing.T) {
+	dir := t.TempDir()
+	const campaigns = 24
+
+	// Uninterrupted reference.
+	fullPath := filepath.Join(dir, "full.srs")
+	sweepToPath(t, fullPath, campaigns)
+	want, err := SummarizeCheckpoint(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: flush every 4 records, "kill" the fleet by
+	// abandoning the sink after 10 records (never Close/Seal).
+	intPath := filepath.Join(dir, "interrupted.srs")
+	sink, err := OpenCheckpointSink(intPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.flushEvery = 4
+	var mu sync.Mutex
+	written, killed := 0, false
+	cfg := fleetConfig(campaigns, storeSweepRun)
+	cfg.Retries = -1
+	cfg.Parallel = 1 // deterministic completion order: indices 0,1,2,...
+	cfg.Sink = sinkFunc{
+		encode: sink.Encode,
+		write: func(r Record, enc []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if killed {
+				return nil // the dead writer drops everything
+			}
+			if err := sink.Write(r, enc); err != nil {
+				return err
+			}
+			if written++; written == 10 {
+				killed = true
+			}
+			return nil
+		},
+	}
+	if _, err := Torture(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the run "died". Only the unsealed temp segment exists.
+	if _, err := os.Stat(intPath); !os.IsNotExist(err) {
+		t.Fatal("interrupted run published a sealed store")
+	}
+
+	recovered, err := LoadRecords(intPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 records written, flushed after 4 and 8: the sealed prefix holds
+	// indices 0..7 (the open chunk with 8,9 died with the writer), and
+	// resume drops the infra record (index 6) for retry → 7 recovered.
+	if len(recovered) != 7 {
+		t.Fatalf("recovered %d records, want 7: %v", len(recovered), recovered)
+	}
+
+	// Resume: seed the recovered records, run the remaining campaigns.
+	sink2, err := OpenCheckpointSink(intPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Seed(recovered); err != nil {
+		t.Fatal(err)
+	}
+	reran := 0
+	cfg2 := fleetConfig(campaigns, func(c Campaign) CampaignOutcome {
+		mu.Lock()
+		reran++
+		mu.Unlock()
+		return storeSweepRun(c)
+	})
+	cfg2.Retries = -1
+	cfg2.Resume = recovered
+	cfg2.Sink = sink2
+	cfg2.OnSinkError = func(err error) { t.Error("sink error:", err) }
+	if _, err := Torture(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if reran != campaigns-len(recovered) {
+		t.Errorf("resume re-ran %d campaigns, want %d", reran, campaigns-len(recovered))
+	}
+
+	got, err := SummarizeCheckpoint(intPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Errorf("summaries differ after kill+resume:\n--- full ---\n%s--- resumed ---\n%s", want.String(), got.String())
+	}
+	if want.Table().String() != got.Table().String() {
+		t.Error("design tables differ after kill+resume")
+	}
+}
+
+// sinkFunc adapts closures to RecordSink for tests.
+type sinkFunc struct {
+	encode func(Record) ([]byte, error)
+	write  func(Record, []byte) error
+}
+
+func (s sinkFunc) Encode(r Record) ([]byte, error)  { return s.encode(r) }
+func (s sinkFunc) Write(r Record, enc []byte) error { return s.write(r, enc) }
+
+// TestSummarizeUnsealedStoreTornTail points the summarizer at a store
+// whose writer died before sealing: only the temp segment exists. The
+// summary must come from the sealed prefix and flag the interruption,
+// mirroring the JSONL torn-tail semantics.
+func TestSummarizeUnsealedStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	sink, err := OpenCheckpointSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.flushEvery = 1
+	for i := 0; i < 6; i++ {
+		r := Record{Index: i, Design: "Silo", Workload: "Array", Commits: 10, Attempts: 1}
+		enc, err := sink.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Write(r, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close: only sweep.srs.tmp exists.
+	s, err := SummarizeCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Campaigns != 6 || s.Commits != 60 {
+		t.Errorf("campaigns=%d commits=%d, want 6/60", s.Campaigns, s.Commits)
+	}
+	if !s.TornTail {
+		t.Error("interrupted writer not flagged as a torn tail")
+	}
+	if !strings.Contains(s.String(), "interrupted mid-write") {
+		t.Errorf("summary hides the interruption:\n%s", s.String())
+	}
+}
+
+// TestJSONLSinkMatchesWriteRecord pins the sink refactor: the
+// two-phase sink writes byte-identical output to the old WriteRecord
+// path.
+func TestJSONLSinkMatchesWriteRecord(t *testing.T) {
+	recs := sweepToPath(t, filepath.Join(t.TempDir(), "x.jsonl"), 8)
+	var viaSink, viaWriteRecord bytes.Buffer
+	sink := NewJSONLSink(&viaSink)
+	for _, r := range recs {
+		enc, err := sink.Encode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Write(r, enc); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteRecord(&viaWriteRecord, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(viaSink.Bytes(), viaWriteRecord.Bytes()) {
+		t.Error("sink output differs from WriteRecord")
+	}
+}
+
+// TestIsStorePath pins extension dispatch.
+func TestIsStorePath(t *testing.T) {
+	for path, want := range map[string]bool{
+		"sweep.srs":     true,
+		"SWEEP.SRS":     true,
+		"a/b/c.srs":     true,
+		"sweep.jsonl":   false,
+		"sweep.srs.tmp": false,
+		"sweep":         false,
+		"srs":           false,
+	} {
+		if got := IsStorePath(path); got != want {
+			t.Errorf("IsStorePath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

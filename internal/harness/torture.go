@@ -91,6 +91,17 @@ type TortureConfig struct {
 	// campaign's record (checkpoint streaming). Calls are serialized.
 	OnRecord func(Record)
 
+	// Sink, when non-nil, is the two-phase checkpoint sink: Encode runs
+	// on the campaign's own goroutine — record construction and
+	// marshaling stay out of the fleet's emit lock — and only Write is
+	// serialized. Prefer it over OnRecord for file-backed streams.
+	Sink RecordSink
+
+	// OnSinkError receives Sink Encode/Write failures (host-level I/O
+	// problems, not campaign verdicts). Nil drops them; the fleet never
+	// aborts on a checkpoint write failure.
+	OnSinkError func(error)
+
 	// Stop, when non-nil and closed, drains the sweep: campaigns not yet
 	// started are skipped and the partial aggregates returned.
 	Stop <-chan struct{}
@@ -554,12 +565,33 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 
 	var recMu sync.Mutex
 	emit := func(out CampaignOutcome) {
-		if cfg.OnRecord == nil {
+		if cfg.OnRecord == nil && cfg.Sink == nil {
 			return
+		}
+		// Record construction and sink encoding (JSON marshal, index-row
+		// building) run here, on the campaign's goroutine, concurrently
+		// across the fleet; the lock below serializes only the actual
+		// write. Marshaling under recMu was the fleet's one hot-loop
+		// serialization point (see BenchmarkFleetEmit).
+		rec := OutcomeRecord(out)
+		var enc []byte
+		var encErr error
+		if cfg.Sink != nil {
+			enc, encErr = cfg.Sink.Encode(rec)
 		}
 		recMu.Lock()
 		defer recMu.Unlock()
-		cfg.OnRecord(OutcomeRecord(out))
+		if cfg.OnRecord != nil {
+			cfg.OnRecord(rec)
+		}
+		if cfg.Sink != nil {
+			if encErr == nil {
+				encErr = cfg.Sink.Write(rec, enc)
+			}
+			if encErr != nil && cfg.OnSinkError != nil {
+				cfg.OnSinkError(encErr)
+			}
+		}
 	}
 	stopping := func() bool {
 		if cfg.Stop == nil {

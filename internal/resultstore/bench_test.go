@@ -1,0 +1,115 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchPayload is a representative fleet record encoding (~240 B, the
+// observed median for a clean campaign).
+func benchPayload(i int) []byte {
+	return []byte(fmt.Sprintf(`{"index":%d,"design":"Silo","workload":"Btree","cores":4,"txns":400,"ops_per_tx":8,"seed":%d,"plan":"crash@1743/tear2","mid_run":true,"commits":398,"torn":1,"dropped":0,"restarts":1,"report":{"committed_tx":398,"redo_applied":12,"undo_applied":3,"discarded":1,"total_records":415,"applied_writes":3104,"complete":true},"attempts":1}`, i, 1000+i))
+}
+
+func benchRow(i int) Row {
+	return Row{
+		Index: int64(i), Seed: int64(1000 + i), Commits: 398, Torn: 1,
+		Design: "Silo", Workload: "Btree", Attempts: 1,
+		MidRun: true, Complete: true, Kind: KindOK,
+	}
+}
+
+// BenchmarkStoreWrite measures the fleet-side append path (row encode,
+// frame, CRC, chunked writes) per record, fsync excluded until Seal.
+func BenchmarkStoreWrite(b *testing.B) {
+	dir := b.TempDir()
+	payload := benchPayload(1)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var w *Writer
+	var err error
+	for i := 0; i < b.N; i++ {
+		if i%100_000 == 0 {
+			if w != nil {
+				b.StopTimer()
+				w.Abort()
+				b.StartTimer()
+			}
+			w, err = NewWriter(filepath.Join(dir, fmt.Sprintf("b%d.srs", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Append(benchRow(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	w.Abort()
+}
+
+// benchStorePath lazily builds (once per test binary) a sealed store
+// with n campaigns for the scan benchmarks.
+func benchStorePath(b *testing.B, n int) string {
+	b.Helper()
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("silo-bench-%d.srs", n))
+	if _, err := os.Stat(path); err == nil {
+		return path
+	}
+	w, err := NewWriter(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(benchRow(i), benchPayload(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkStoreScan measures a filtered index-only scan over a
+// 100k-campaign store — the query path silo-report's -design /
+// -failed-only flags take. One iteration = one full scan.
+func BenchmarkStoreScan(b *testing.B) {
+	path := benchStorePath(b, 100_000)
+	st, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched := 0
+		st.Scan(Filter{Design: "Silo", FailedOnly: true}, func(int, Row) bool {
+			matched++
+			return true
+		})
+		if matched != 0 {
+			b.Fatal("benchmark store has no failures; filter matched", matched)
+		}
+	}
+}
+
+// BenchmarkStoreOpen measures Open's validation cost on a
+// 100k-campaign store (header+footer+names+index CRC; no payload
+// reads).
+func BenchmarkStoreOpen(b *testing.B) {
+	path := benchStorePath(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}

@@ -1,0 +1,91 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedImage builds a small sealed store on disk and returns its
+// bytes (corpus seed for the fuzzers).
+func fuzzSeedImage(f *testing.F) []byte {
+	f.Helper()
+	dir, err := os.MkdirTemp("", "srsfuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r, p := testRow(i)
+		if err := w.Append(r, p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.AttachTrace(2, []byte("trace blob")); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzOpenStore feeds arbitrary bytes through the exact validation
+// path Open uses. The invariant: openBytes either rejects the input or
+// yields a store whose every index row, payload and trace access is
+// memory-safe — a hostile file may be unreadable, never a panic or a
+// silent misread past the mapping.
+func FuzzOpenStore(f *testing.F) {
+	seed := fuzzSeedImage(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])         // torn rename
+	f.Add(seed[:headerSize])          // header only
+	f.Add(placeholderHeader())        // unsealed segment
+	f.Add([]byte{})                   // empty
+	f.Add([]byte("SRS1SEALSRS1SEAL")) // magic soup
+	trunc := append([]byte(nil), seed...)
+	trunc[100] ^= 0xFF // payload damage (lazily detected)
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := openBytes(data)
+		if err != nil {
+			return
+		}
+		for i := 0; i < st.Count(); i++ {
+			r := st.Row(i)
+			_ = r.Failed()
+			_, _ = st.Payload(i)
+			_, _ = st.Trace(i)
+		}
+		st.Scan(Filter{FailedOnly: true}, func(int, Row) bool { return true })
+		_ = st.Verify()
+	})
+}
+
+// FuzzRecover asserts the crash-recovery scanner never panics and
+// never fabricates records from arbitrary segment tails.
+func FuzzRecover(f *testing.F) {
+	seed := fuzzSeedImage(f)
+	f.Add(seed)
+	f.Add(seed[:headerSize+10])
+	f.Add(placeholderHeader())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, err := recoverBytes(data)
+		if err != nil {
+			return
+		}
+		for _, p := range payloads {
+			_ = len(p)
+		}
+	})
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package resultstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the whole file; the
+// API contract (read-only bytes, release via the returned func) is
+// identical, just without the lazy paging.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

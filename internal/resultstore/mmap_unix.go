@@ -1,0 +1,22 @@
+//go:build unix
+
+package resultstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A zero-length mapping is illegal,
+// so empty files fall back to an empty slice (Open then rejects it as
+// too short to hold the header).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,421 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testRow builds a distinctive row+payload pair for campaign i.
+func testRow(i int) (Row, []byte) {
+	r := Row{
+		Index:       int64(i),
+		Seed:        int64(1000 + i),
+		Commits:     int64(10 * i),
+		Torn:        int64(i % 3),
+		Dropped:     int64(i % 2),
+		Restarts:    uint32(i % 4),
+		Design:      []string{"Silo", "UndoLog", "RedoLog"}[i%3],
+		Workload:    []string{"Btree", "Hash"}[i%2],
+		Attempts:    uint16(1 + i%2),
+		MidRun:      i%2 == 0,
+		Complete:    true,
+		Kind:        KindOK,
+		RedoApplied: uint32(i),
+	}
+	if i%7 == 3 {
+		r.Kind = KindMismatch
+		r.Mismatches = 2
+		r.Invariant = "golden-shadow"
+	}
+	if i%11 == 5 {
+		r.Kind = KindInfra
+		r.Infra = true
+	}
+	if i%5 == 4 {
+		r.HasAvail = true
+		r.Replicas = 3
+		r.Mode = "sync"
+		r.Windows = uint32(i % 6)
+		r.DetectSum = int64(i) * 17
+		r.WidthMax = int64(i) * 29
+		r.AckedLost = 0
+	}
+	return r, []byte(fmt.Sprintf(`{"index":%d,"design":%q,"blob":"campaign %d payload"}`, i, r.Design, i))
+}
+
+// buildStore seals a store with n campaigns (plus any traces) and
+// returns its path.
+func buildStore(t *testing.T, n int, chunkBytes int, traces map[int][]byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkBytes > 0 {
+		w.SetChunkBytes(chunkBytes)
+	}
+	for i := 0; i < n; i++ {
+		r, p := testRow(i)
+		if err := w.Append(r, p); err != nil {
+			t.Fatal(err)
+		}
+		if blob, ok := traces[i]; ok {
+			if err := w.AttachTrace(int64(i), blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	const n = 100
+	path := buildStore(t, n, 512, nil) // small chunks → many chunk boundaries
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp segment survived Seal: %v", err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Count() != n {
+		t.Fatalf("Count = %d, want %d", st.Count(), n)
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want, wantPayload := testRow(i)
+		got := st.Row(i)
+		// Location fields are writer-assigned; compare the semantic fields.
+		got.payloadOff, got.payloadLen, got.payloadCRC = 0, 0, 0
+		got.traceOff, got.traceLen, got.traceCRC = 0, 0, 0
+		if got != want {
+			t.Fatalf("row %d:\n got %+v\nwant %+v", i, got, want)
+		}
+		p, err := st.Payload(i)
+		if err != nil {
+			t.Fatalf("payload %d: %v", i, err)
+		}
+		if !bytes.Equal(p, wantPayload) {
+			t.Fatalf("payload %d = %q, want %q", i, p, wantPayload)
+		}
+	}
+}
+
+func TestFilterScan(t *testing.T) {
+	const n = 60
+	path := buildStore(t, n, 0, nil)
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	count := func(f Filter) (c int) {
+		st.Scan(f, func(_ int, _ Row) bool { c++; return true })
+		return
+	}
+	// Recompute expectations straight from the generator.
+	var wantSilo, wantHash, wantFailed int
+	for i := 0; i < n; i++ {
+		r, _ := testRow(i)
+		if r.Design == "Silo" {
+			wantSilo++
+		}
+		if r.Workload == "Hash" {
+			wantHash++
+		}
+		if r.Failed() {
+			wantFailed++
+		}
+	}
+	if got := count(Filter{}); got != n {
+		t.Errorf("empty filter matched %d, want %d", got, n)
+	}
+	if got := count(Filter{Design: "Silo"}); got != wantSilo {
+		t.Errorf("Design=Silo matched %d, want %d", got, wantSilo)
+	}
+	if got := count(Filter{Workload: "Hash"}); got != wantHash {
+		t.Errorf("Workload=Hash matched %d, want %d", got, wantHash)
+	}
+	if got := count(Filter{FailedOnly: true}); got != wantFailed {
+		t.Errorf("FailedOnly matched %d, want %d", got, wantFailed)
+	}
+	if got := count(Filter{Design: "NoSuchDesign"}); got != 0 {
+		t.Errorf("bogus design matched %d, want 0", got)
+	}
+	// Early stop.
+	visits := 0
+	st.Scan(Filter{}, func(_ int, _ Row) bool { visits++; return visits < 5 })
+	if visits != 5 {
+		t.Errorf("scan visited %d rows after stop, want 5", visits)
+	}
+}
+
+func TestTraces(t *testing.T) {
+	blob := bytes.Repeat([]byte(`{"traceEvents":[]} `), 200)
+	path := buildStore(t, 10, 0, map[int][]byte{3: blob, 7: []byte("tiny")})
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		got, err := st.Trace(i)
+		if err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+		switch i {
+		case 3:
+			if !bytes.Equal(got, blob) {
+				t.Fatalf("trace 3 round-trip mismatch (%d vs %d bytes)", len(got), len(blob))
+			}
+			if !st.Row(i).HasTrace() {
+				t.Fatal("row 3 does not report HasTrace")
+			}
+		case 7:
+			if string(got) != "tiny" {
+				t.Fatalf("trace 7 = %q", got)
+			}
+		default:
+			if got != nil || st.Row(i).HasTrace() {
+				t.Fatalf("row %d unexpectedly has a trace", i)
+			}
+		}
+	}
+	// Payloads must be unaffected by interleaved trace chunks.
+	for i := 0; i < 10; i++ {
+		_, want := testRow(i)
+		p, err := st.Payload(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, want) {
+			t.Fatalf("payload %d corrupted by trace interleave", i)
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", st.Count())
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsUnsealedSegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, p := testRow(0)
+	if err := w.Append(r, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The writer dies here: no Seal. The temp segment must be ErrCorrupt
+	// to Open but recoverable.
+	if _, err := Open(w.TempPath()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open(unsealed) = %v, want ErrCorrupt", err)
+	}
+	payloads, err := Recover(w.TempPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 1 || !bytes.Equal(payloads[0], p) {
+		t.Fatalf("Recover = %d payloads, want the 1 appended byte-exactly", len(payloads))
+	}
+}
+
+func TestRecoverSealedPrefixByteExact(t *testing.T) {
+	// Many small chunks, writer killed after the last flush: every
+	// flushed record must come back byte-exactly, in order.
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetChunkBytes(256)
+	var want [][]byte
+	for i := 0; i < 40; i++ {
+		r, p := testRow(i)
+		if err := w.Append(r, p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(w.TempPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d payloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("payload %d not byte-exact", i)
+		}
+	}
+	w.Abort()
+}
+
+func TestRecoverOnSealedStoreStopsAtNames(t *testing.T) {
+	// Recover over a *sealed* file must still return exactly the records
+	// (it stops scanning at the names section).
+	path := buildStore(t, 15, 300, nil)
+	got, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("recovered %d payloads from sealed store, want 15", len(got))
+	}
+}
+
+func TestRecoverSkipsTraces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 5; i++ {
+		r, p := testRow(i)
+		if err := w.Append(r, p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+		if err := w.AttachTrace(int64(i), bytes.Repeat([]byte("t"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(w.TempPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d payloads, want %d (traces must be skipped, not returned)", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("payload %d not byte-exact across trace chunks", i)
+		}
+	}
+	w.Abort()
+}
+
+func TestAppendAfterSealFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	r, p := testRow(0)
+	if err := w.Append(r, p); err == nil {
+		t.Fatal("Append after Seal succeeded")
+	}
+	if err := w.AttachTrace(0, p); err == nil {
+		t.Fatal("AttachTrace after Seal succeeded")
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatalf("second Seal should be a no-op, got %v", err)
+	}
+}
+
+func TestAbortRemovesTemp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, p := testRow(0)
+	if err := w.Append(r, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(w.TempPath()); !os.IsNotExist(err) {
+		t.Fatalf("temp segment survived Abort: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("Abort published a store: %v", err)
+	}
+}
+
+func TestDuplicateIndexLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.srs")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := testRow(0)
+	if err := w.Append(r, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(r, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	// AttachTrace targets the latest row for the index.
+	if err := w.AttachTrace(0, []byte("trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (duplicates preserved)", st.Count())
+	}
+	if st.Row(0).HasTrace() {
+		t.Fatal("trace attached to the superseded row")
+	}
+	if !st.Row(1).HasTrace() {
+		t.Fatal("trace missing from the latest row")
+	}
+	tr, err := st.Trace(1)
+	if err != nil || string(tr) != "trace" {
+		t.Fatalf("Trace(1) = %q, %v", tr, err)
+	}
+}
