@@ -1,0 +1,239 @@
+// Command silo-explore sweeps the Table II design space: a grid over
+// the hardware knobs the paper fixes — Silo log-buffer entries, on-PM
+// buffer line size, WPQ depth, cache geometry, core count — crossed
+// with designs and workloads. Every grid point is one measured
+// simulation (no crash injection, auditor off), executed by the pooled
+// torture fleet with per-worker machine reuse, and the sweep ends with
+// a Pareto-frontier report over throughput, media writes, and
+// crash-flush energy.
+//
+// The sweep checkpoints to -shards binary result stores (-out base
+// path), so a million-point grid survives kills and resumes without
+// re-running finished points:
+//
+//	silo-explore -logbuf 10,20,40 -bufline 64,256 -wpq 16,64 \
+//	    -out grid.srs -shards 4
+//	# ... kill -9 mid-sweep ...
+//	silo-explore -logbuf 10,20,40 -bufline 64,256 -wpq 16,64 \
+//	    -out grid.srs -shards 4 -resume
+//
+// Merge the shards and render the frontier with silo-report:
+//
+//	silo-report -merge grid-all.srs grid-0.srs grid-1.srs grid-2.srs grid-3.srs
+//	silo-report -pareto grid-all.srs
+//
+// Exit codes: 0 every point measured; 1 points failed to run;
+// 2 configuration error; 3 infra-only failures; 130 interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"silo/internal/buildinfo"
+	"silo/internal/explore"
+	"silo/internal/harness"
+	"silo/internal/profiling"
+)
+
+var prof *profiling.Flags
+
+func main() {
+	var (
+		designs   = flag.String("designs", "Silo", "comma-separated designs")
+		workloads = flag.String("workloads", "Array,Hash,TPCC", "comma-separated workloads")
+		cores     = flag.String("cores", "2", "comma-separated core counts")
+		logbuf    = flag.String("logbuf", "20", "comma-separated Silo log-buffer entry counts")
+		bufline   = flag.String("bufline", "256", "comma-separated on-PM buffer line sizes (bytes)")
+		wpq       = flag.String("wpq", "64", "comma-separated WPQ depths per channel")
+		cacheStr  = flag.String("cache", "32/256/8192", "comma-separated cache geometries, L1KB/L2KB/L3KB each")
+		txns      = flag.Int("txns", 48, "transactions per grid point")
+		seed      = flag.Int64("seed", 1, "base seed (point i runs with a seed derived from it)")
+
+		out      = flag.String("out", "", "checkpoint base path (.srs); shards land at base-0.srs .. base-(N-1).srs")
+		shards   = flag.Int("shards", 4, "number of store shards behind -out")
+		resume   = flag.Bool("resume", false, "load the -out shards and skip already-measured points")
+		parallel = flag.Int("parallel", 0, "concurrent points (0 = GOMAXPROCS)")
+		wall     = flag.Duration("wall", 2*time.Minute, "per-point wall-clock watchdog (0 disables)")
+		report   = flag.Bool("report", true, "print the Pareto frontier after the sweep")
+	)
+	prof = profiling.Register("silo-explore")
+	showVersion := buildinfo.Flag()
+	flag.Parse()
+	buildinfo.Handle("silo-explore", showVersion)
+
+	grid := explore.Grid{
+		Designs:   splitCSV(*designs),
+		Workloads: splitCSV(*workloads),
+		Txns:      *txns,
+		Seed:      *seed,
+	}
+	var err error
+	if grid.Cores, err = intList(*cores); err != nil {
+		fatalConfig(err)
+	}
+	if grid.LogBuf, err = intList(*logbuf); err != nil {
+		fatalConfig(err)
+	}
+	if grid.BufLine, err = intList(*bufline); err != nil {
+		fatalConfig(err)
+	}
+	if grid.WPQ, err = intList(*wpq); err != nil {
+		fatalConfig(err)
+	}
+	for _, s := range splitCSV(*cacheStr) {
+		g, err := explore.ParseCacheGeom(s)
+		if err != nil {
+			fatalConfig(err)
+		}
+		grid.Caches = append(grid.Caches, g)
+	}
+	if err := grid.Normalize(); err != nil {
+		fatalConfig(err)
+	}
+	if *shards < 1 {
+		fatalConfig(fmt.Errorf("silo-explore: -shards must be at least 1"))
+	}
+
+	cfg := harness.TortureConfig{
+		Seed:      *seed,
+		Campaigns: grid.Size(),
+		Parallel:  *parallel,
+		Make:      grid.Campaign,
+		Run:       grid.RunPoint,
+	}
+	if *wall == 0 {
+		cfg.WallBudget = -1
+	} else {
+		cfg.WallBudget = *wall
+	}
+	fmt.Fprintf(os.Stderr, "silo-explore: %d grid points (%d designs × %d workloads × %d knob combinations)\n",
+		grid.Size(), len(grid.Designs), len(grid.Workloads),
+		grid.Size()/(len(grid.Designs)*len(grid.Workloads)))
+
+	var sink *explore.ShardedSink
+	exit := func(code int) {
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "silo-explore: sealing shards:", err)
+				if code == 0 {
+					code = 2
+				}
+			}
+			sink = nil
+		}
+		prof.Stop()
+		os.Exit(code)
+	}
+	if err := prof.Start(); err != nil {
+		fatalConfig(err)
+	}
+
+	if *resume {
+		if *out == "" {
+			fatalConfig(fmt.Errorf("silo-explore: -resume needs -out"))
+		}
+		// Must happen before the sinks open: store sinks truncate the
+		// temp segments the resume records may live in.
+		recs, err := explore.LoadShards(*out, *shards)
+		if err != nil {
+			fatalConfig(fmt.Errorf("loading shards of %s: %w", *out, err))
+		}
+		cfg.Resume = recs
+		fmt.Fprintf(os.Stderr, "silo-explore: resuming, %d points already measured\n", len(recs))
+	}
+	if *out != "" {
+		s, err := explore.OpenShardedSink(*out, *shards)
+		if err != nil {
+			fatalConfig(err)
+		}
+		sink = s
+		// Re-emit resumed records so every sealed shard is complete.
+		if err := sink.Seed(cfg.Resume); err != nil {
+			fatalConfig(err)
+		}
+		cfg.Sink = sink
+		cfg.OnSinkError = func(err error) {
+			fmt.Fprintln(os.Stderr, "silo-explore: writing record:", err)
+		}
+	}
+
+	// First SIGINT drains the fleet; a second aborts immediately.
+	stop := make(chan struct{})
+	cfg.Stop = stop
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-explore: draining (points in flight will finish; interrupt again to abort)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "silo-explore: aborted")
+		os.Exit(130)
+	}()
+
+	var frontier []harness.Record
+	if *report {
+		cfg.OnRecord = func(r harness.Record) { frontier = append(frontier, r) }
+	}
+	res, err := harness.Torture(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-explore:", err)
+		exit(2)
+	}
+	fmt.Print(res.Summary())
+	if *report && !res.Interrupted {
+		// Resumed points bypass OnRecord; fold them back in, in index
+		// order, so the frontier always covers the whole grid.
+		for i := 0; i < grid.Size(); i++ {
+			if r, ok := cfg.Resume[i]; ok {
+				frontier = append(frontier, r)
+			}
+		}
+		fmt.Print(explore.Report(frontier))
+	}
+	switch {
+	case !res.Ok():
+		exit(1)
+	case res.Interrupted:
+		fmt.Fprintf(os.Stderr, "silo-explore: interrupted; resume by re-running with -resume\n")
+		exit(130)
+	case len(res.Infra) > 0:
+		exit(3)
+	}
+	exit(0)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitCSV(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("silo-explore: bad list value %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatalConfig(err error) {
+	fmt.Fprintln(os.Stderr, "silo-explore:", err)
+	prof.Stop()
+	os.Exit(2)
+}

@@ -36,10 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"silo/internal/buildinfo"
+	"silo/internal/explore"
 	"silo/internal/harness"
 	"silo/internal/resultstore"
 	"silo/internal/stats"
@@ -56,6 +58,9 @@ func main() {
 		design     = flag.String("design", "", "with -torture on a .srs store: list only campaigns of this design")
 		workload   = flag.String("workload", "", "with -torture on a .srs store: list only campaigns of this workload")
 		failedOnly = flag.Bool("failed-only", false, "with -torture on a .srs store: list only campaigns with a durability failure")
+
+		merge  = flag.String("merge", "", "merge/compact the positional .srs stores into this store (latest record per campaign index wins, ascending index order)")
+		pareto = flag.Bool("pareto", false, "render the Pareto frontier of the positional explorer checkpoints (.srs or JSONL; see silo-explore)")
 	)
 	showVersion := buildinfo.Flag()
 	flag.Parse()
@@ -63,6 +68,12 @@ func main() {
 
 	if *convert != "" {
 		os.Exit(convertMode(*convert, flag.Arg(0)))
+	}
+	if *merge != "" {
+		os.Exit(mergeMode(*merge, flag.Args()))
+	}
+	if *pareto {
+		os.Exit(paretoMode(flag.Args()))
 	}
 	if *torture != "" {
 		filter := resultstore.Filter{Design: *design, Workload: *workload, FailedOnly: *failedOnly}
@@ -264,6 +275,57 @@ func convertMode(in, out string) int {
 	if tornTail {
 		fmt.Println("note: input ended in a torn partial record (interrupted writer); the torn tail was dropped and the store sealed complete")
 	}
+	return 0
+}
+
+// mergeMode folds the source stores into one compacted store (see
+// harness.MergeStores): silo-report -merge merged.srs shard-0.srs ...
+func mergeMode(out string, srcs []string) int {
+	if !harness.IsStorePath(out) {
+		fmt.Fprintf(os.Stderr, "silo-report: -merge output %q must have a .srs extension\n", out)
+		return 2
+	}
+	if len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "silo-report: -merge needs at least one source store as a positional argument")
+		return 2
+	}
+	n, err := harness.MergeStores(out, srcs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "silo-report:", err)
+		return 1
+	}
+	fmt.Printf("merged %d campaigns from %d stores into %s\n", n, len(srcs), out)
+	return 0
+}
+
+// paretoMode loads explorer checkpoints and renders their Pareto
+// frontier (throughput vs media writes vs crash-flush energy).
+func paretoMode(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "silo-report: -pareto needs at least one explorer checkpoint as a positional argument")
+		return 2
+	}
+	byIndex := make(map[int]harness.Record)
+	for _, p := range paths {
+		recs, err := harness.LoadRecords(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "silo-report: %s: %v\n", p, err)
+			return 1
+		}
+		for i, r := range recs {
+			byIndex[i] = r
+		}
+	}
+	idxs := make([]int, 0, len(byIndex))
+	for i := range byIndex {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	recs := make([]harness.Record, 0, len(idxs))
+	for _, i := range idxs {
+		recs = append(recs, byIndex[i])
+	}
+	fmt.Print(explore.Report(recs))
 	return 0
 }
 

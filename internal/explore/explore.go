@@ -1,0 +1,262 @@
+// Package explore sweeps the Table II design space: a grid over the
+// hardware knobs the paper fixes (Silo log-buffer entries, on-PM buffer
+// line size, WPQ depth, cache geometry, core count) crossed with
+// designs and workloads, executed as a resumable fleet on the pooled
+// torture harness, checkpointed to sharded binary result stores, and
+// reduced to a Pareto frontier over throughput, media writes, and
+// crash-flush energy.
+//
+// Every grid point is a pure function of its index, so an interrupted
+// sweep resumes from its shards without re-running finished points, and
+// the frontier report is byte-identical however the sweep was
+// partitioned, parallelized, or interrupted.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"silo/internal/cache"
+	"silo/internal/core"
+	"silo/internal/energy"
+	"silo/internal/harness"
+	"silo/internal/pm"
+)
+
+// CacheGeom is one cache-hierarchy point, in KB per level.
+type CacheGeom struct {
+	L1KB, L2KB, L3KB int
+}
+
+func (g CacheGeom) String() string {
+	return fmt.Sprintf("%d/%d/%d", g.L1KB, g.L2KB, g.L3KB)
+}
+
+// ParseCacheGeom parses "L1KB/L2KB/L3KB" (e.g. "32/256/8192").
+func ParseCacheGeom(s string) (CacheGeom, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return CacheGeom{}, fmt.Errorf("explore: cache geometry %q: want L1KB/L2KB/L3KB", s)
+	}
+	var g CacheGeom
+	for i, dst := range []*int{&g.L1KB, &g.L2KB, &g.L3KB} {
+		n, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+		if err != nil || n <= 0 {
+			return CacheGeom{}, fmt.Errorf("explore: cache geometry %q: bad level size %q", s, parts[i])
+		}
+		*dst = n
+	}
+	return g, nil
+}
+
+// Grid is the sweep specification: one value list per Table II knob.
+// Empty lists take the paper's defaults, so the zero Grid is the single
+// Table II configuration.
+type Grid struct {
+	Designs   []string
+	Workloads []string
+	Cores     []int
+	LogBuf    []int // Silo log-buffer entries per core
+	BufLine   []int // on-PM buffer line size (bytes)
+	WPQ       []int // WPQ depth per channel
+	Caches    []CacheGeom
+
+	Txns int   // transactions per point (0 → 48)
+	Seed int64 // base seed; point i runs with Seed + i*1_000_003
+}
+
+// Normalize fills defaulted axes in place and validates the rest.
+func (g *Grid) Normalize() error {
+	if len(g.Designs) == 0 {
+		g.Designs = []string{"Silo"}
+	}
+	if len(g.Workloads) == 0 {
+		g.Workloads = []string{"Array", "Hash", "TPCC"}
+	}
+	if len(g.Cores) == 0 {
+		g.Cores = []int{2}
+	}
+	if len(g.LogBuf) == 0 {
+		g.LogBuf = []int{20}
+	}
+	if len(g.BufLine) == 0 {
+		g.BufLine = []int{256}
+	}
+	if len(g.WPQ) == 0 {
+		g.WPQ = []int{64}
+	}
+	if len(g.Caches) == 0 {
+		g.Caches = []CacheGeom{{L1KB: 32, L2KB: 256, L3KB: 8192}}
+	}
+	if g.Txns <= 0 {
+		g.Txns = 48
+	}
+	for _, d := range g.Designs {
+		if _, err := harness.DesignFactory(d, core.Options{}); err != nil {
+			return err
+		}
+	}
+	for _, w := range g.Workloads {
+		if _, err := harness.GetWorkload(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range append(append(append([]int{}, g.Cores...), g.LogBuf...), append(g.BufLine, g.WPQ...)...) {
+		if n <= 0 {
+			return fmt.Errorf("explore: grid axis value %d must be positive", n)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of grid points.
+func (g Grid) Size() int {
+	return len(g.Designs) * len(g.Workloads) * len(g.Cores) *
+		len(g.LogBuf) * len(g.BufLine) * len(g.WPQ) * len(g.Caches)
+}
+
+// Point is one fully-resolved grid coordinate.
+type Point struct {
+	Design   string
+	Workload string
+	Cores    int
+	LogBuf   int
+	BufLine  int
+	WPQ      int
+	Cache    CacheGeom
+}
+
+// Point decodes index i mixed-radix, designs varying fastest. The
+// mapping is the explorer's determinism anchor: index → point → spec is
+// pure, so resume, sharding, and repro all agree on what point i is.
+func (g Grid) Point(i int) Point {
+	var p Point
+	p.Design, i = g.Designs[i%len(g.Designs)], i/len(g.Designs)
+	p.Workload, i = g.Workloads[i%len(g.Workloads)], i/len(g.Workloads)
+	p.Cores, i = g.Cores[i%len(g.Cores)], i/len(g.Cores)
+	p.LogBuf, i = g.LogBuf[i%len(g.LogBuf)], i/len(g.LogBuf)
+	p.BufLine, i = g.BufLine[i%len(g.BufLine)], i/len(g.BufLine)
+	p.WPQ, i = g.WPQ[i%len(g.WPQ)], i/len(g.WPQ)
+	p.Cache = g.Caches[i%len(g.Caches)]
+	return p
+}
+
+// Campaign maps grid point i onto a fleet campaign. Plugged into
+// TortureConfig.Make, it turns the torture fleet's seeded crash storm
+// into a deterministic grid walk; the fleet's pooling, retry, resume,
+// and checkpoint machinery apply unchanged.
+func (g Grid) Campaign(i int) harness.Campaign {
+	p := g.Point(i)
+	spec := harness.Spec{
+		Design:        p.Design,
+		Workload:      p.Workload,
+		Cores:         p.Cores,
+		Txns:          g.Txns,
+		Seed:          g.Seed + int64(i)*1_000_003,
+		LogBufEntries: p.LogBuf,
+		// Perf sweep: points are measured, not crash-verified, so the
+		// invariant auditor's overhead buys nothing here.
+		DisableAudit: true,
+		PMMod: func(c *pm.Config) {
+			c.BufLineSize = p.BufLine
+			c.WPQEntries = p.WPQ
+		},
+		CacheMod: func(c *cache.HierarchyConfig) {
+			c.L1.Size = p.Cache.L1KB << 10
+			c.L2.Size = p.Cache.L2KB << 10
+			c.L3.Size = p.Cache.L3KB << 10
+		},
+	}
+	return harness.Campaign{Index: i, Spec: spec}
+}
+
+// RunPoint executes grid point c to completion (no crash injection) and
+// measures the three Pareto axes. Plugged into TortureConfig.Run.
+func (g Grid) RunPoint(c harness.Campaign) harness.CampaignOutcome {
+	p := g.Point(c.Index)
+	run, err := harness.Run(c.Spec)
+	if err != nil {
+		return harness.CampaignOutcome{Campaign: c, Err: err}
+	}
+	return harness.CampaignOutcome{
+		Campaign: c,
+		Commits:  run.Transactions,
+		Explore: &harness.ExploreMetrics{
+			LogBufEntries: p.LogBuf,
+			BufLineSize:   p.BufLine,
+			WPQEntries:    p.WPQ,
+			L1KB:          p.Cache.L1KB,
+			L2KB:          p.Cache.L2KB,
+			L3KB:          p.Cache.L3KB,
+
+			Throughput:   run.Throughput(),
+			MediaWrites:  run.MediaWrites,
+			MediaBytes:   run.MediaBytes,
+			EnergyMicroJ: energy.SiloDomain(p.Cores, p.LogBuf).FlushEnergyMicroJ(),
+		},
+	}
+}
+
+// dominates reports whether a is at least as good as b on every axis
+// and strictly better on one (throughput up, media writes down, energy
+// down).
+func dominates(a, b *harness.ExploreMetrics) bool {
+	if a.Throughput < b.Throughput || a.MediaWrites > b.MediaWrites || a.EnergyMicroJ > b.EnergyMicroJ {
+		return false
+	}
+	return a.Throughput > b.Throughput || a.MediaWrites < b.MediaWrites || a.EnergyMicroJ < b.EnergyMicroJ
+}
+
+// Frontier returns the Pareto-optimal records (throughput vs media
+// writes vs crash-flush energy), sorted by descending throughput with
+// the campaign index as the deterministic tiebreak. Records without
+// explorer metrics (errors, foreign stores) are ignored.
+func Frontier(recs []harness.Record) []harness.Record {
+	pts := make([]harness.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Explore != nil && r.Err == "" {
+			pts = append(pts, r)
+		}
+	}
+	out := make([]harness.Record, 0, len(pts))
+	for i, r := range pts {
+		dominated := false
+		for j, o := range pts {
+			if i != j && dominates(o.Explore, r.Explore) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Explore.Throughput != b.Explore.Throughput {
+			return a.Explore.Throughput > b.Explore.Throughput
+		}
+		return a.Index < b.Index
+	})
+	return out
+}
+
+// Report renders the frontier as a text table (silo-report -pareto).
+func Report(recs []harness.Record) string {
+	front := Frontier(recs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pareto frontier: %d of %d points (maximize tx/Mcyc; minimize media writes, crash-flush energy)\n",
+		len(front), len(recs))
+	fmt.Fprintf(&b, "%8s  %-8s %-8s %5s %6s %7s %5s %14s  %9s %12s %10s\n",
+		"point", "design", "workload", "cores", "logbuf", "bufline", "wpq", "cache(KB)", "tx/Mcyc", "mediaWrites", "energy(uJ)")
+	for _, r := range front {
+		e := r.Explore
+		geom := CacheGeom{L1KB: e.L1KB, L2KB: e.L2KB, L3KB: e.L3KB}
+		fmt.Fprintf(&b, "%8d  %-8s %-8s %5d %6d %7d %5d %14s  %9.3f %12d %10.2f\n",
+			r.Index, r.Design, r.Workload, r.Cores, e.LogBufEntries, e.BufLineSize, e.WPQEntries,
+			geom.String(), e.Throughput, e.MediaWrites, e.EnergyMicroJ)
+	}
+	return b.String()
+}

@@ -1,0 +1,22 @@
+package harness
+
+// ExploreMetrics is the design-space explorer's per-point measurement:
+// the resolved Table II knobs the point ran with, and the three Pareto
+// axes (performance, media wear, crash-flush energy). It rides the
+// checkpoint record's JSON payload — self-describing, so the binary
+// store's fixed-size index rows are untouched — and survives the
+// record → outcome round-trip, which is what lets an interrupted grid
+// sweep resume without re-running finished points. See internal/explore.
+type ExploreMetrics struct {
+	LogBufEntries int `json:"logbuf"`  // Silo log-buffer entries per core
+	BufLineSize   int `json:"bufline"` // on-PM buffer line size (bytes)
+	WPQEntries    int `json:"wpq"`     // WPQ depth per channel
+	L1KB          int `json:"l1_kb"`
+	L2KB          int `json:"l2_kb"`
+	L3KB          int `json:"l3_kb"`
+
+	Throughput   float64 `json:"throughput"`   // committed tx per Mcycle (maximize)
+	MediaWrites  int64   `json:"media_writes"` // media programs (minimize)
+	MediaBytes   int64   `json:"media_bytes"`
+	EnergyMicroJ float64 `json:"energy_uj"` // crash-flush energy domain (minimize)
+}

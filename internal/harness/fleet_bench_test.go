@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFleetThroughput measures end-to-end fleet throughput on real
+// campaigns — full machine construction, crash schedule, recovery, and
+// golden-shadow verification per campaign — across worker counts. sec/op
+// is host time per campaign; the campaigns/min metric is what the
+// ROADMAP's "million-campaign overnight run" target is quoted in.
+//
+// The sweep shape mirrors the default torture fleet (all designs ×
+// {Array, Hash, TPCC}) so wins here are wins for `silo-torture` and
+// `silo-explore` runs, not a synthetic microbenchmark.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			cfg := TortureConfig{
+				Seed:      11,
+				Campaigns: b.N,
+				Txns:      16,
+				Parallel:  workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := Torture(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if !res.Ok() {
+				b.Fatalf("fleet benchmark sweep failed:\n%s", res.Summary())
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Minutes(), "campaigns/min")
+		})
+	}
+}

@@ -60,7 +60,13 @@ type Spec struct {
 	LogBufLatency sim.Cycle    // log buffer access latency (0 → 8)
 	SiloOpts      core.Options // ablation switches for Silo
 	PMMod         func(*pm.Config)
+	CacheMod      func(*cache.HierarchyConfig) // cache-geometry knob (Table II explorer)
 	CrashAtOp     int64
+
+	// Recycle, when non-nil, sources the machine's heavy structures from
+	// the pool and returns them on Release — the fleet's cross-campaign
+	// reset-in-place reuse (see machine.Recycler).
+	Recycle *machine.Recycler
 
 	// Fault, when non-nil, is the full crash schedule (trigger, flush
 	// energy budget, media faults); see internal/fault. Takes precedence
@@ -157,10 +163,14 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 	if spec.PMMod != nil {
 		spec.PMMod(&pmCfg)
 	}
+	cacheCfg := cache.DefaultHierarchyConfig()
+	if spec.CacheMod != nil {
+		spec.CacheMod(&cacheCfg)
+	}
 	m := machine.New(machine.Config{
 		Cores:     spec.Cores,
 		PM:        pmCfg,
-		Cache:     cache.DefaultHierarchyConfig(),
+		Cache:     cacheCfg,
 		Design:    factory,
 		LogBuf:    spec.LogBufEntries,
 		LogLat:    spec.LogBufLatency,
@@ -172,6 +182,7 @@ func Build(spec Spec) (*machine.Machine, workload.Workload, error) {
 		DisableAudit: spec.DisableAudit,
 		AuditTrail:   spec.AuditTrail,
 		Telemetry:    spec.Telemetry,
+		Recycle:      spec.Recycle,
 	})
 	if spec.OpsPerTx > 1 {
 		wl.SetOpsPerTx(spec.OpsPerTx)

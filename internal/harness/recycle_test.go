@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"testing"
+
+	"silo/internal/machine"
+	"silo/internal/telemetry"
+)
+
+// A machine built from recycled parts must be observationally identical
+// to one built from scratch: same run record (stats.Run is comparable,
+// so == is the full-struct check) and same telemetry event stream, for
+// every design × workload pair. The recycler is deliberately polluted
+// first — its pooled tables carry a different design's and workload's
+// leftover capacity — so the test proves reset-in-place, not just reuse
+// of compatible state. This is the contract that lets fleet workers
+// recycle simulation state across arbitrary campaign sequences.
+func TestRecycledMachineMatchesFresh(t *testing.T) {
+	run := func(t *testing.T, design, wl string, rec *machine.Recycler) ([]telemetry.Event, interface{}) {
+		t.Helper()
+		log := &eventLog{}
+		r, err := Run(Spec{
+			Design: design, Workload: wl, Cores: 2, Txns: 24, Seed: 7,
+			Recycle:   rec,
+			Telemetry: telemetry.NewRecorder(log),
+		})
+		if err != nil {
+			t.Fatalf("%s/%s recycled=%v: %v", design, wl, rec != nil, err)
+		}
+		return log.events, r
+	}
+
+	for _, design := range DesignNames() {
+		for _, wl := range Fig4Names() {
+			design, wl := design, wl
+			t.Run(design+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				freshEv, fresh := run(t, design, wl, nil)
+
+				// Pollute the recycler with a run of a different design and
+				// workload, then build the machine under test from its pools.
+				rec := machine.NewRecycler()
+				otherDesign, otherWl := "Silo", "Hash"
+				if design == otherDesign {
+					otherDesign = "Base"
+				}
+				if wl == otherWl {
+					otherWl = "Array"
+				}
+				run(t, otherDesign, otherWl, rec)
+				reusedEv, reused := run(t, design, wl, rec)
+
+				if fresh != reused {
+					t.Errorf("run records diverge:\nfresh:   %+v\nrecycled: %+v", fresh, reused)
+				}
+				if len(freshEv) != len(reusedEv) {
+					t.Fatalf("event streams diverge: %d fresh events vs %d recycled", len(freshEv), len(reusedEv))
+				}
+				for i := range freshEv {
+					if freshEv[i] != reusedEv[i] {
+						t.Fatalf("event %d diverges:\nfresh:   %v\nrecycled: %v", i, freshEv[i], reusedEv[i])
+					}
+				}
+			})
+		}
+	}
+}

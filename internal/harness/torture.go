@@ -109,6 +109,14 @@ type TortureConfig struct {
 	// Run overrides the campaign executor (fleet tests); default
 	// RunCampaign. Torture wraps it in panic containment either way.
 	Run func(Campaign) CampaignOutcome
+
+	// Make overrides campaign derivation (the design-space explorer maps
+	// an index to a grid point instead of a random sample); default
+	// MakeCampaign. It receives the global campaign index (Offset
+	// applied) and must be a pure function of it — resume, repro, and
+	// cross-worker determinism all depend on index → campaign being
+	// stable.
+	Make func(i int) Campaign
 }
 
 func (c *TortureConfig) defaults() {
@@ -206,6 +214,10 @@ type CampaignOutcome struct {
 	// (nil for machine-scope campaigns and for cluster runs with
 	// neither replication nor crash windows).
 	Avail *AvailSummary
+
+	// Explore carries the design-space explorer's per-point metrics
+	// (nil for torture campaigns); see internal/explore.
+	Explore *ExploreMetrics
 
 	// Invariant names the audit invariant that fired (empty otherwise);
 	// Trail is the auditor's ring-buffered event trail at that moment,
@@ -549,50 +561,56 @@ func RetryDelay(seed int64, campaign, attempt int, base time.Duration) time.Dura
 	return d + jitter
 }
 
-// Torture runs the campaign sweep as a hardened fleet: campaigns are
-// independent simulations executing in parallel across host CPUs, each
-// behind panic containment, wall-clock and sim-cycle watchdogs, and
-// bounded infra retries. Results are deterministic regardless of
-// parallelism, and — with Resume — regardless of interruption.
+// reorderWindowPerWorker sizes the fleet's reorder window: the sweep
+// holds at most Parallel*reorderWindowPerWorker completed-but-undrained
+// outcomes, so memory is O(Parallel + window) regardless of campaign
+// count, while workers stay busy across moderate completion skew.
+const reorderWindowPerWorker = 4
+
+// fleetSlot is one reorder-window entry: a completed (or resumed, or
+// skipped) campaign waiting for every earlier index to drain.
+type fleetSlot struct {
+	out     CampaignOutcome
+	rec     Record
+	enc     []byte
+	encErr  error
+	hasRec  bool
+	skipped bool
+	done    bool
+}
+
+// Torture runs the campaign sweep as a hardened fleet: a fixed pool of
+// Parallel workers pulls campaign indices from a bounded dispatcher,
+// each campaign behind panic containment, wall-clock and sim-cycle
+// watchdogs, and bounded infra retries. Each worker reuses its
+// simulation state across campaigns through a machine.Recycler.
+// Completed outcomes stream through an in-order reorder window —
+// aggregates and the checkpoint record stream are emitted strictly in
+// campaign-index order — so results are byte-identical regardless of
+// parallelism (and, with Resume, regardless of interruption), and
+// memory stays O(Parallel + window) instead of O(Campaigns).
 func Torture(cfg TortureConfig) (TortureResult, error) {
 	cfg.defaults()
 	run := cfg.Run
 	if run == nil {
 		run = RunCampaign
 	}
-	outcomes := make([]CampaignOutcome, cfg.Campaigns)
-	skipped := make([]bool, cfg.Campaigns)
-
-	var recMu sync.Mutex
-	emit := func(out CampaignOutcome) {
-		if cfg.OnRecord == nil && cfg.Sink == nil {
-			return
-		}
-		// Record construction and sink encoding (JSON marshal, index-row
-		// building) run here, on the campaign's goroutine, concurrently
-		// across the fleet; the lock below serializes only the actual
-		// write. Marshaling under recMu was the fleet's one hot-loop
-		// serialization point (see BenchmarkFleetEmit).
-		rec := OutcomeRecord(out)
-		var enc []byte
-		var encErr error
-		if cfg.Sink != nil {
-			enc, encErr = cfg.Sink.Encode(rec)
-		}
-		recMu.Lock()
-		defer recMu.Unlock()
-		if cfg.OnRecord != nil {
-			cfg.OnRecord(rec)
-		}
-		if cfg.Sink != nil {
-			if encErr == nil {
-				encErr = cfg.Sink.Write(rec, enc)
-			}
-			if encErr != nil && cfg.OnSinkError != nil {
-				cfg.OnSinkError(encErr)
-			}
-		}
+	mk := cfg.Make
+	if mk == nil {
+		mk = func(i int) Campaign { return MakeCampaign(cfg, i) }
 	}
+	window := cfg.Parallel * reorderWindowPerWorker
+
+	var (
+		mu       sync.Mutex
+		space    = sync.NewCond(&mu)
+		ring     = make([]fleetSlot, window)
+		next     int  // lowest sequence number not yet drained
+		draining bool // a drainer owns the in-order processing loop
+		res      TortureResult
+	)
+	res.Campaigns = cfg.Campaigns
+
 	stopping := func() bool {
 		if cfg.Stop == nil {
 			return false
@@ -605,81 +623,39 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 		}
 	}
 
-	execOne := func(i, idx int) {
-		if stopping() {
-			skipped[i] = true
+	// process consumes one drained slot: emit its checkpoint record, then
+	// fold the outcome into the aggregates. Only ever called by the
+	// single active drainer, in strict index order — that is what makes
+	// summaries and record streams byte-identical across worker counts.
+	process := func(s *fleetSlot) {
+		if s.skipped {
+			res.Skipped++
 			return
 		}
-		c := MakeCampaign(cfg, idx)
-		var out CampaignOutcome
-		for attempt := 0; ; attempt++ {
-			out = runContained(run, c, cfg.WallBudget)
-			out.Attempts = attempt + 1
-			if !IsInfra(out.Err) || attempt >= cfg.Retries {
-				break
+		if s.hasRec {
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(s.rec)
 			}
-			time.Sleep(RetryDelay(cfg.Seed, idx, attempt, cfg.Backoff))
-		}
-		out.Infra = IsInfra(out.Err)
-		outcomes[i] = out
-		emit(out)
-	}
-
-	sem := make(chan struct{}, cfg.Parallel)
-	var wg sync.WaitGroup
-	var resumeErr error
-	var resumeErrOnce sync.Once
-	for i := 0; i < cfg.Campaigns; i++ {
-		idx := cfg.Offset + i
-		if rec, ok := cfg.Resume[idx]; ok {
-			out, err := rec.Outcome()
-			if err != nil {
-				resumeErrOnce.Do(func() { resumeErr = fmt.Errorf("torture: resume record %d: %w", idx, err) })
-				continue
+			if cfg.Sink != nil {
+				err := s.encErr
+				if err == nil {
+					err = cfg.Sink.Write(s.rec, s.enc)
+				}
+				if err != nil && cfg.OnSinkError != nil {
+					cfg.OnSinkError(err)
+				}
 			}
-			outcomes[i] = out
-			continue
 		}
-		if cfg.Parallel == 1 {
-			// Sequential in campaign-index order: goroutines blocked on a
-			// semaphore wake in unspecified order, so even a 1-wide fleet
-			// would emit records nondeterministically. Running inline keeps
-			// the JSONL checkpoint stream byte-identical across runs
-			// (panic containment still applies inside execOne).
-			execOne(i, idx)
-			continue
-		}
-		wg.Add(1)
-		go func(i, idx int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			execOne(i, idx)
-		}(i, idx)
-	}
-	wg.Wait()
-	if resumeErr != nil {
-		return TortureResult{}, resumeErr
-	}
-
-	// Aggregate in campaign-index order, so summaries are byte-identical
-	// whether the sweep ran straight through or was resumed.
-	var res TortureResult
-	res.Campaigns = cfg.Campaigns
-	for i, o := range outcomes {
-		if skipped[i] {
-			res.Skipped++
-			continue
-		}
+		o := s.out
 		if o.Infra {
 			res.Infra = append(res.Infra, TortureFailure{Outcome: o})
-			continue
+			return
 		}
 		if o.Err != nil {
 			// A campaign that cannot even run — config error or audit
 			// violation — fails the whole sweep.
 			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
-			continue
+			return
 		}
 		if o.MidRun {
 			res.MidRunCrashes++
@@ -701,6 +677,130 @@ func Torture(cfg TortureConfig) (TortureResult, error) {
 		if len(o.Mismatches) > 0 {
 			res.Failures = append(res.Failures, TortureFailure{Outcome: o})
 		}
+	}
+
+	// deliver parks seq's slot in the reorder window, then drains every
+	// contiguous completed slot from `next` upward. One drainer at a time
+	// owns the loop (combining pattern): a deliverer that finds a drain
+	// in progress just deposits and leaves, and the active drainer
+	// re-checks for newly contiguous work before retiring — no slot is
+	// ever stranded. Slot storage is recycled as it drains, so the window
+	// (not the campaign count) bounds retained outcomes.
+	deliver := func(seq int, s fleetSlot) {
+		mu.Lock()
+		s.done = true
+		ring[seq%window] = s
+		if draining {
+			mu.Unlock()
+			return
+		}
+		draining = true
+		batch := make([]fleetSlot, 0, window)
+		for {
+			batch = batch[:0]
+			for next < cfg.Campaigns && ring[next%window].done {
+				batch = append(batch, ring[next%window])
+				ring[next%window] = fleetSlot{}
+				next++
+			}
+			if len(batch) == 0 {
+				draining = false
+				mu.Unlock()
+				return
+			}
+			space.Broadcast()
+			mu.Unlock()
+			for i := range batch {
+				process(&batch[i])
+			}
+			mu.Lock()
+		}
+	}
+
+	execOne := func(seq int, rec *machine.Recycler) {
+		if stopping() {
+			deliver(seq, fleetSlot{skipped: true})
+			return
+		}
+		idx := cfg.Offset + seq
+		c := mk(idx)
+		c.Spec.Recycle = rec
+		var out CampaignOutcome
+		for attempt := 0; ; attempt++ {
+			out = runContained(run, c, cfg.WallBudget)
+			out.Attempts = attempt + 1
+			if !IsInfra(out.Err) || attempt >= cfg.Retries {
+				break
+			}
+			time.Sleep(RetryDelay(cfg.Seed, idx, attempt, cfg.Backoff))
+		}
+		out.Infra = IsInfra(out.Err)
+		s := fleetSlot{out: out}
+		if cfg.OnRecord != nil || cfg.Sink != nil {
+			// Record construction and sink encoding (JSON marshal,
+			// index-row building) run here, on the worker, concurrently
+			// across the fleet; the drain serializes only the actual write
+			// (see BenchmarkFleetEmit).
+			s.rec = OutcomeRecord(out)
+			s.hasRec = true
+			if cfg.Sink != nil {
+				s.enc, s.encErr = cfg.Sink.Encode(s.rec)
+			}
+		}
+		deliver(seq, s)
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker recycler: campaigns on this worker reuse one
+			// another's machine state (reset in place), and no other
+			// worker touches it, so reuse adds no cross-worker coupling.
+			rec := machine.NewRecycler()
+			for seq := range work {
+				execOne(seq, rec)
+			}
+		}()
+	}
+
+	// The dispatcher (this goroutine) admits index i only once the drain
+	// has advanced past i-window, bounding the reorder window; resumed
+	// and stop-skipped campaigns bypass the workers but flow through the
+	// same window so ordering and memory bounds hold uniformly.
+	var resumeErr error
+	for i := 0; i < cfg.Campaigns; i++ {
+		mu.Lock()
+		for i >= next+window {
+			space.Wait()
+		}
+		mu.Unlock()
+		idx := cfg.Offset + i
+		if rec, ok := cfg.Resume[idx]; ok {
+			out, err := rec.Outcome()
+			if err != nil {
+				// Fail fast: a corrupt resume record invalidates the whole
+				// sweep — stop dispatching, let in-flight campaigns drain,
+				// and surface the error instead of burning the remaining
+				// campaign budget first.
+				resumeErr = fmt.Errorf("torture: resume record %d: %w", idx, err)
+				break
+			}
+			deliver(i, fleetSlot{out: out})
+			continue
+		}
+		if stopping() {
+			deliver(i, fleetSlot{skipped: true})
+			continue
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if resumeErr != nil {
+		return TortureResult{}, resumeErr
 	}
 	res.Interrupted = res.Skipped > 0
 	if cfg.Shrink {

@@ -32,6 +32,7 @@ type Record struct {
 	Restarts int             `json:"restarts"`
 	Report   recovery.Report `json:"report"`
 	Avail    *AvailSummary   `json:"avail,omitempty"`
+	Explore  *ExploreMetrics `json:"explore,omitempty"`
 
 	Mismatches []string `json:"mismatches,omitempty"`
 	Err        string   `json:"err,omitempty"`
@@ -63,6 +64,7 @@ func OutcomeRecord(o CampaignOutcome) Record {
 		Restarts: o.Restarts,
 		Report:   o.Report,
 		Avail:    o.Avail,
+		Explore:  o.Explore,
 
 		Mismatches: o.Mismatches,
 		Invariant:  o.Invariant,
@@ -106,6 +108,7 @@ func (r Record) Outcome() (CampaignOutcome, error) {
 		Restarts: r.Restarts,
 		Report:   r.Report,
 		Avail:    r.Avail,
+		Explore:  r.Explore,
 
 		Mismatches: r.Mismatches,
 		Invariant:  r.Invariant,

@@ -70,6 +70,14 @@ type Config struct {
 	// first so stale queue timing from the previous incarnation cannot
 	// leak into the new clock. PM (the config) is ignored when set.
 	Device *pm.Device
+
+	// Recycle, when non-nil, sources the machine's heavy structures (PM
+	// device tables, golden-shadow table, pending-write tables) from the
+	// pool and returns them on Release — the fleet's cross-campaign
+	// reset-in-place reuse. A reused machine is observationally identical
+	// to a fresh one. A Device passed in explicitly is never recycled; it
+	// belongs to the caller's reboot chain.
+	Recycle *Recycler
 }
 
 // Machine is the simulated system for one run.
@@ -80,6 +88,8 @@ type Machine struct {
 	region *logging.RegionWriter
 	design logging.Design
 	engine *sim.Engine
+
+	ownsDev bool // device built here (not a caller's reboot device)
 
 	aud       *audit.Auditor
 	bufDesign audit.BufferedDesign // non-nil when design is buffer-based (Silo)
@@ -127,17 +137,30 @@ func New(cfg Config) *Machine {
 		cfg.PersistPath = 60
 	}
 	dev := cfg.Device
+	ownsDev := dev == nil
 	if dev == nil {
-		dev = pm.New(cfg.PM)
+		if cfg.Recycle != nil {
+			dev = cfg.Recycle.device(cfg.PM)
+		} else {
+			dev = pm.New(cfg.PM)
+		}
 	}
 	m := &Machine{
-		cfg:    cfg,
-		dev:    dev,
-		inTx:   make([]bool, cfg.Cores),
-		shadow: newShadowTable(),
+		cfg:     cfg,
+		dev:     dev,
+		ownsDev: ownsDev,
+		inTx:    make([]bool, cfg.Cores),
 	}
-	for i := 0; i < cfg.Cores; i++ {
-		m.pending = append(m.pending, newTxWrites())
+	if cfg.Recycle != nil {
+		m.shadow = cfg.Recycle.shadow()
+		for i := 0; i < cfg.Cores; i++ {
+			m.pending = append(m.pending, cfg.Recycle.txWrites())
+		}
+	} else {
+		m.shadow = newShadowTable()
+		for i := 0; i < cfg.Cores; i++ {
+			m.pending = append(m.pending, newTxWrites())
+		}
 	}
 	m.txBeganAt = make([]sim.Cycle, cfg.Cores)
 	m.hier = cache.NewHierarchy(cfg.Cores, cfg.Cache, m.fill, m.writeback)
@@ -241,11 +264,28 @@ func (m *Machine) Commits() int64 { return m.commits }
 // Crashed reports whether a crash was injected.
 func (m *Machine) Crashed() bool { return m.engine != nil && m.engine.Crashed() }
 
-// Release returns the machine's pooled resources (the cache hierarchy's
-// line and tag arrays) for reuse by the next machine. The machine must
-// not be used afterwards. Callers that drop a machine without Release
-// just fall back to the garbage collector.
-func (m *Machine) Release() { m.hier.Release() }
+// Release returns the machine's pooled resources for reuse by the next
+// machine: always the cache hierarchy's line and tag arrays, and — when
+// the machine was built with a Recycler — the PM device tables, the
+// golden-shadow table, and the pending-write tables too (reset in place,
+// not reallocated). The machine must not be used afterwards. Callers
+// that drop a machine without Release just fall back to the garbage
+// collector.
+func (m *Machine) Release() {
+	m.hier.Release()
+	r := m.cfg.Recycle
+	if r == nil {
+		return
+	}
+	m.cfg.Recycle = nil // idempotent: a second Release must not double-pool
+	if m.ownsDev {
+		r.putDevice(m.dev)
+	}
+	r.putShadow(m.shadow)
+	for _, w := range m.pending {
+		r.putTxWrites(w)
+	}
+}
 
 // Now returns the simulated wall clock.
 func (m *Machine) Now() sim.Cycle {

@@ -95,6 +95,20 @@ func (t *shadowTable) grow() {
 	}
 }
 
+// reset empties the table for an unrelated new run, keeping the grown
+// slot array and entry storage. Observationally identical to a fresh
+// table: lookups miss, inserts start from zeroed entries, and iteration
+// (dense entries, insertion order) is capacity-blind.
+func (t *shadowTable) reset() {
+	clear(t.slots)
+	t.entries = t.entries[:0]
+}
+
+// memFootprint approximates retained bytes for the recycler's size cap.
+func (t *shadowTable) memFootprint() int {
+	return cap(t.slots)*4 + cap(t.entries)*32
+}
+
 // txKV is one pending (uncommitted) write: word address and newest value.
 type txKV struct {
 	addr mem.Addr

@@ -199,6 +199,53 @@ func New(cfg Config) *Device {
 	return d
 }
 
+// Recycle re-purposes a released device for a new, unrelated run as if
+// freshly constructed by New(cfg): all durable contents, wear counters,
+// statistics, queue timing, energy budget, and telemetry are discarded.
+// Only storage capacity survives — the media table keeps its grown slot
+// array and entry storage, and the on-PM buffer keeps its byte pool when
+// the geometry matches — so repopulating a working set costs no
+// grow/rehash/realloc churn. A recycled device is observationally
+// identical to a fresh one; the fleet's fresh-vs-reused equivalence test
+// holds this line. (Contrast PowerCycle, which deliberately *preserves*
+// media contents, wear, and statistics across a reboot of the same
+// simulated system.)
+func (d *Device) Recycle(cfg Config) {
+	if cfg.BufLineSize < mem.LineSize {
+		cfg.BufLineSize = mem.LineSize
+	}
+	if cfg.BufLines < 1 {
+		cfg.BufLines = 1
+	}
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	sameBuf := d.cfg.BufLines == cfg.BufLines && d.cfg.BufLineSize == cfg.BufLineSize
+	d.cfg = cfg
+	d.media.reset()
+	if sameBuf {
+		d.buf.reset()
+	} else {
+		d.buf = newBufTable(cfg.BufLines, cfg.BufLineSize)
+	}
+	// Queues are recreated rather than reset: ServiceQueue.Reset keeps the
+	// cumulative accepted counter (a power cycle's contract), and a ring is
+	// a few hundred bytes — not worth a special full-reset path.
+	d.wpq = d.wpq[:0]
+	for i := 0; i < cfg.Channels; i++ {
+		d.wpq = append(d.wpq, sim.NewServiceQueue(cfg.WPQEntries))
+	}
+	d.tick = 0
+	d.stats = Stats{}
+	d.energy = crashEnergy{}
+	d.tel = nil
+	d.now = 0
+}
+
+// MemFootprint approximates the device's retained table bytes; recyclers
+// use it to drop a device that one outsized campaign ballooned.
+func (d *Device) MemFootprint() int { return d.media.memFootprint() }
+
 // channelIdx returns the index of the WPQ serving addr: channels
 // interleave at the on-PM buffer line granularity, so a transaction's
 // coalesced words stay on one controller (the paper's per-MC log
@@ -536,16 +583,29 @@ func (d *Device) PeekWord(addr mem.Addr) mem.Word {
 	return mem.Word(w)
 }
 
-// PokeWord writes a word durably with no timing (recovery uses it; the
-// recovery path's own traffic is not part of the evaluated run). Populate
-// keeps the on-PM buffer coherent, so recovery writes are never shadowed
-// by stale pre-crash buffer contents.
+// PokeWord writes a word durably with no timing (recovery and workload
+// setup use it; that traffic is not part of the evaluated run). Like
+// Populate it keeps the on-PM buffer coherent — dirty buffer bytes
+// shadowing the word are overwritten too — so recovery writes are never
+// shadowed by stale pre-crash buffer contents. The direct word path
+// matters: workload setup pokes every word of its dataset, so the
+// general byte loop of Populate was the fleet's hottest setup cost.
 func (d *Device) PokeWord(addr mem.Addr, w mem.Word) {
-	var b [mem.WordSize]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(w >> (8 * i))
+	addr = addr.Word()
+	me := d.media.getOrInsert(addr.Line())
+	binary.LittleEndian.PutUint64(me.data[addr.LineOffset():], uint64(w))
+	if !d.cfg.Coalescing || d.buf.n == 0 {
+		return
 	}
-	d.Populate(addr.Word(), b[:])
+	base := addr &^ (mem.Addr(d.cfg.BufLineSize) - 1)
+	if bl := d.buf.get(base); bl != nil {
+		off := int(addr - base)
+		if dm := uint8(bl.dirty[off>>6] >> (off & 63)); dm != 0 {
+			m := byteMask[dm]
+			old := binary.LittleEndian.Uint64(bl.data[off:])
+			binary.LittleEndian.PutUint64(bl.data[off:], (old&^m)|(uint64(w)&m))
+		}
+	}
 }
 
 // Erase zeroes [addr, addr+n) with no timing accounting — log-region

@@ -128,6 +128,25 @@ func (t *mediaTable) grow() {
 	}
 }
 
+// reset empties the table for an unrelated new run, keeping the slot
+// array and entry storage at their grown capacity. A reset table is
+// observationally identical to a fresh one — every lookup misses, every
+// insert starts from zeroed entry contents, and iteration (always over
+// the dense entries in insertion order) sees the same sequence — only
+// the grow/rehash/realloc churn of repopulating from the 1024-slot seed
+// size is gone, which is the dominant per-campaign allocation cost of
+// the torture fleet.
+func (t *mediaTable) reset() {
+	clear(t.slots)
+	t.entries = t.entries[:0]
+}
+
+// memFootprint approximates the table's retained bytes, so a recycler
+// can drop a table that one outsized campaign ballooned.
+func (t *mediaTable) memFootprint() int {
+	return cap(t.slots)*16 + cap(t.entries)*(16+mem.LineSize)
+}
+
 // bufLine is one on-PM buffer line in the fixed pool: contents plus a
 // one-bit-per-byte dirty bitmap (the per-byte bool slice it replaces was
 // 8x the footprint and byte-at-a-time to scan).
@@ -203,6 +222,21 @@ func newBufTable(lines, lineSize int) *bufTable {
 		t.free = append(t.free, int32(i))
 	}
 	return t
+}
+
+// reset returns the table to its just-constructed state — empty index,
+// full freelist in construction order, no recency links — keeping the
+// pool's byte storage. Only valid when the geometry (lines, line size)
+// is unchanged; a different geometry needs newBufTable.
+func (t *bufTable) reset() {
+	clear(t.slots)
+	t.free = t.free[:0]
+	for i := range t.pool {
+		t.used[i] = false
+		t.free = append(t.free, int32(i))
+	}
+	t.n = 0
+	t.head, t.tail = -1, -1
 }
 
 // unlink removes pool index idx from the recency list.
